@@ -1,0 +1,37 @@
+# ipusim — build/test/reproduce targets.
+
+GO ?= go
+
+.PHONY: all build test vet bench experiments ablation sensitivity fuzz clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test: vet
+	$(GO) test ./...
+
+# Regenerate every table and figure of the paper (plus the P/E sweep).
+experiments:
+	$(GO) run ./cmd/experiments -scale 0.05 -pesweep
+
+# The IPU design-choice ablation (ISR policy, hierarchy, intra-page
+# update, adaptive combining).
+ablation:
+	$(GO) run ./cmd/experiments -scale 0.05 -traces ts0,wdev0 -schemes IPU -ablate
+
+sensitivity:
+	$(GO) run ./cmd/experiments -scale 0.05 -traces ts0 -sensitivity slcratio
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+fuzz:
+	$(GO) test ./internal/trace -fuzz FuzzParseMSR -fuzztime 30s
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,245 @@
+// Package ipusim_test hosts the benchmark harness that regenerates every
+// table and figure of the paper's evaluation (see DESIGN.md for the
+// experiment index). Each benchmark runs the corresponding experiment and
+// reports its headline series as benchmark metrics; `cmd/experiments`
+// prints the full tables.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+package ipusim_test
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"ipusim/internal/core"
+	"ipusim/internal/errmodel"
+	"ipusim/internal/flash"
+	"ipusim/internal/trace"
+)
+
+// benchScale keeps one full matrix under a second; cmd/experiments runs
+// larger scales.
+const benchScale = 0.02
+
+// benchSeed fixes trace synthesis across benchmarks.
+const benchSeed = 42
+
+func benchFlash() *flash.Config {
+	fc := flash.DefaultConfig()
+	fc.PreFillMLC = true
+	return &fc
+}
+
+// runBenchMatrix executes the (traces x schemes) sweep used by most
+// figure benchmarks.
+func runBenchMatrix(b *testing.B, traces []string, pes []int) *core.ResultSet {
+	b.Helper()
+	results, err := core.RunMatrix(core.MatrixSpec{
+		Traces:      traces,
+		PEBaselines: pes,
+		Scale:       benchScale,
+		Seed:        benchSeed,
+		Flash:       benchFlash(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return core.NewResultSet(results)
+}
+
+func BenchmarkTable1_UpdateSizeDistribution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := core.Table1(benchSeed, benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab.Rows) != 6 {
+			b.Fatalf("rows = %d", len(tab.Rows))
+		}
+	}
+}
+
+func BenchmarkTable3_TraceSpecs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := core.Table3(benchSeed, benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tab.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig2_RawBER(b *testing.B) {
+	em := errmodel.Default()
+	pes := []int{1000, 2000, 4000, 8000}
+	var last float64
+	for i := 0; i < b.N; i++ {
+		pts := em.Curve(pes)
+		last = pts[len(pts)-1].Partial
+	}
+	b.ReportMetric(last*1e6, "partialBER@8000-ppm")
+	b.ReportMetric(em.RawBER(4000, false)*1e6, "convBER@4000-ppm")
+}
+
+func BenchmarkFig5_ResponseTime(b *testing.B) {
+	var rs *core.ResultSet
+	for i := 0; i < b.N; i++ {
+		rs = runBenchMatrix(b, []string{"ts0", "wdev0"}, nil)
+	}
+	pe := rs.PEs()[0]
+	for _, sc := range rs.Schemes() {
+		r := rs.Get("ts0", sc, pe)
+		b.ReportMetric(float64(r.AvgLatency)/1e3, "ts0-"+sc+"-us")
+	}
+}
+
+func BenchmarkFig6_WriteDistribution(b *testing.B) {
+	var rs *core.ResultSet
+	for i := 0; i < b.N; i++ {
+		rs = runBenchMatrix(b, []string{"ts0"}, nil)
+	}
+	pe := rs.PEs()[0]
+	for _, sc := range rs.Schemes() {
+		b.ReportMetric(rs.Get("ts0", sc, pe).SLCWriteShare()*100, sc+"-slcShare-pct")
+	}
+}
+
+func BenchmarkFig7_LevelDistribution(b *testing.B) {
+	var rs *core.ResultSet
+	for i := 0; i < b.N; i++ {
+		rs = runBenchMatrix(b, []string{"ts0"}, nil)
+	}
+	r := rs.Get("ts0", "IPU", rs.PEs()[0])
+	b.ReportMetric(r.LevelShare(flash.LevelWork)*100, "work-pct")
+	b.ReportMetric(r.LevelShare(flash.LevelMonitor)*100, "monitor-pct")
+	b.ReportMetric(r.LevelShare(flash.LevelHot)*100, "hot-pct")
+}
+
+func BenchmarkFig8_ReadErrorRate(b *testing.B) {
+	var rs *core.ResultSet
+	for i := 0; i < b.N; i++ {
+		rs = runBenchMatrix(b, []string{"ts0"}, nil)
+	}
+	pe := rs.PEs()[0]
+	base := rs.Get("ts0", "Baseline", pe).ReadErrorRate
+	for _, sc := range []string{"MGA", "IPU"} {
+		rel := rs.Get("ts0", sc, pe).ReadErrorRate/base - 1
+		b.ReportMetric(rel*100, sc+"-vsBaseline-pct")
+	}
+}
+
+func BenchmarkFig9_PageUtilization(b *testing.B) {
+	var rs *core.ResultSet
+	for i := 0; i < b.N; i++ {
+		rs = runBenchMatrix(b, []string{"ts0"}, nil)
+	}
+	pe := rs.PEs()[0]
+	for _, sc := range rs.Schemes() {
+		b.ReportMetric(rs.Get("ts0", sc, pe).PageUtilization*100, sc+"-pct")
+	}
+}
+
+func BenchmarkFig10_EraseCounts(b *testing.B) {
+	var rs *core.ResultSet
+	for i := 0; i < b.N; i++ {
+		rs = runBenchMatrix(b, []string{"ts0"}, nil)
+	}
+	pe := rs.PEs()[0]
+	for _, sc := range rs.Schemes() {
+		r := rs.Get("ts0", sc, pe)
+		b.ReportMetric(float64(r.SLCErases), sc+"-slcErases")
+		b.ReportMetric(float64(r.MLCErases), sc+"-mlcErases")
+	}
+}
+
+func BenchmarkFig11_MappingTableSize(b *testing.B) {
+	var rs *core.ResultSet
+	for i := 0; i < b.N; i++ {
+		rs = runBenchMatrix(b, []string{"ts0"}, nil)
+	}
+	pe := rs.PEs()[0]
+	for _, sc := range rs.Schemes() {
+		b.ReportMetric(rs.Get("ts0", sc, pe).MappingNormalized, sc+"-normalized")
+	}
+}
+
+func BenchmarkFig12_GCOverhead(b *testing.B) {
+	var rs *core.ResultSet
+	for i := 0; i < b.N; i++ {
+		rs = runBenchMatrix(b, []string{"ts0"}, nil)
+	}
+	pe := rs.PEs()[0]
+	for _, sc := range []string{"Baseline", "IPU"} {
+		r := rs.Get("ts0", sc, pe)
+		if r.SLCGCs > 0 {
+			b.ReportMetric(float64(r.GCScanNS/r.SLCGCs), sc+"-scan-ns/GC")
+		}
+	}
+}
+
+func BenchmarkFig13_LatencyVsPE(b *testing.B) {
+	pes := []int{1000, 2000, 4000, 8000}
+	var rs *core.ResultSet
+	for i := 0; i < b.N; i++ {
+		rs = runBenchMatrix(b, []string{"wdev0"}, pes)
+	}
+	for _, pe := range pes {
+		r := rs.Get("wdev0", "IPU", pe)
+		b.ReportMetric(float64(r.AvgLatency)/1e3, timeLabel("IPU-us@PE", pe))
+	}
+}
+
+func BenchmarkFig14_BERVsPE(b *testing.B) {
+	pes := []int{1000, 2000, 4000, 8000}
+	var rs *core.ResultSet
+	for i := 0; i < b.N; i++ {
+		rs = runBenchMatrix(b, []string{"wdev0"}, pes)
+	}
+	for _, pe := range pes {
+		r := rs.Get("wdev0", "IPU", pe)
+		b.ReportMetric(r.ReadErrorRate*1e6, timeLabel("IPU-BER-ppm@PE", pe))
+	}
+}
+
+func timeLabel(prefix string, pe int) string {
+	switch pe {
+	case 1000:
+		return prefix + "1000"
+	case 2000:
+		return prefix + "2000"
+	case 4000:
+		return prefix + "4000"
+	default:
+		return prefix + "8000"
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw replay speed: simulated
+// requests processed per wall-clock second for the IPU scheme.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	tr, err := trace.Generate(trace.Profiles["ts0"], benchSeed, benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var reqs int
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultConfig()
+		cfg.Flash = *benchFlash()
+		sim, err := core.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.Run(tr); err != nil {
+			b.Fatal(err)
+		}
+		reqs += len(tr.Records)
+	}
+	b.ReportMetric(float64(reqs)/time.Since(start).Seconds(), "requests/s")
+}

@@ -1,0 +1,193 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation: it synthesises the six traces, replays each against the
+// Baseline, MGA and IPU schemes (in parallel across a worker pool), and
+// prints the corresponding series.
+//
+// Usage:
+//
+//	experiments [-scale 0.05] [-seed 42] [-traces ts0,ads] [-schemes IPU]
+//	            [-pesweep] [-ablate] [-full] [-workers N]
+//
+// -pesweep additionally runs the Fig. 13/14 endurance sweep (4 P/E
+// levels). -ablate runs the IPU design-choice ablation (ISR victim policy,
+// level hierarchy, intra-page update, adaptive combining). -full uses the
+// paper's full 65536-block geometry (slow, several GiB of memory).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"ipusim/internal/core"
+	"ipusim/internal/errmodel"
+	"ipusim/internal/flash"
+	"ipusim/internal/metrics"
+)
+
+func main() {
+	var (
+		scale   = flag.Float64("scale", 0.05, "trace request-count scale in (0,1]")
+		seed    = flag.Int64("seed", 42, "trace synthesis seed")
+		traces  = flag.String("traces", "", "comma-separated trace names (default: all six)")
+		schemes = flag.String("schemes", "", "comma-separated schemes (default: Baseline,MGA,IPU)")
+		pesweep = flag.Bool("pesweep", false, "also run the Fig 13/14 P/E sweep")
+		ablate  = flag.Bool("ablate", false, "also run the IPU ablation study")
+		sens    = flag.String("sensitivity", "", "also sweep a device parameter: slcratio, gcthreshold, backlogcap or planes")
+		repl    = flag.Int("replicate", 0, "also run the matrix across N seeds and report mean +- std")
+		csvdir  = flag.String("csvdir", "", "also write every table as CSV into this directory")
+		full    = flag.Bool("full", false, "use the paper's full Table 2 geometry")
+		workers = flag.Int("workers", 0, "parallel simulations (default GOMAXPROCS)")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *scale, *seed, *traces, *schemes, *pesweep, *ablate, *sens, *csvdir, *repl, *full, *workers); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func run(out io.Writer, scale float64, seed int64, traces, schemes string, pesweep, ablate bool, sensitivity, csvDir string, replicate int, full bool, workers int) error {
+	emit := func(tab *metrics.Table) error {
+		if err := tab.Render(out); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		if csvDir == "" {
+			return nil
+		}
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			return err
+		}
+		f, err := os.Create(filepath.Join(csvDir, tab.CSVName()))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return tab.WriteCSV(f)
+	}
+	fc := flash.DefaultConfig()
+	if full {
+		fc = flash.PaperConfig()
+	}
+	fc.PreFillMLC = true // the evaluation runs on a preconditioned device
+	em := errmodel.Default()
+
+	start := time.Now()
+
+	// Static tables.
+	if err := emit(core.Table2(&fc)); err != nil {
+		return err
+	}
+	t1, err := core.Table1(seed, scale)
+	if err != nil {
+		return err
+	}
+	if err := emit(t1); err != nil {
+		return err
+	}
+	t3, err := core.Table3(seed, scale)
+	if err != nil {
+		return err
+	}
+	if err := emit(t3); err != nil {
+		return err
+	}
+	if err := emit(core.Fig2(&em, []int{1000, 2000, 4000, 8000})); err != nil {
+		return err
+	}
+
+	// Main matrix.
+	spec := core.MatrixSpec{
+		Traces:  splitList(traces),
+		Schemes: splitList(schemes),
+		Scale:   scale,
+		Seed:    seed,
+		Flash:   &fc,
+		Workers: workers,
+	}
+	results, err := core.RunMatrix(spec)
+	if err != nil {
+		return err
+	}
+	rs := core.NewResultSet(results)
+	tables := []*metrics.Table{
+		core.Fig5(rs), core.Fig6(rs), core.Fig7(rs), core.Fig8(rs),
+		core.Fig9(rs), core.Fig10(rs), core.Fig11(rs), core.Fig12(rs),
+		core.Lifetime(rs, fc.SLCBlocks(), fc.MLCBlocks()),
+	}
+	for _, tab := range tables {
+		if err := emit(tab); err != nil {
+			return err
+		}
+	}
+
+	if pesweep {
+		sweepSpec := spec
+		sweepSpec.PEBaselines = []int{1000, 2000, 4000, 8000}
+		sweep, err := core.RunMatrix(sweepSpec)
+		if err != nil {
+			return err
+		}
+		srs := core.NewResultSet(sweep)
+		if err := emit(core.Fig13(srs)); err != nil {
+			return err
+		}
+		if err := emit(core.Fig14(srs)); err != nil {
+			return err
+		}
+	}
+
+	if ablate {
+		ablSpec := spec
+		ablSpec.Schemes = append([]string(nil), core.AblationSchemes...)
+		abl, err := core.RunMatrix(ablSpec)
+		if err != nil {
+			return err
+		}
+		if err := emit(core.Ablation(core.NewResultSet(abl))); err != nil {
+			return err
+		}
+	}
+
+	if sensitivity != "" {
+		sensSpec := spec
+		sensSpec.Schemes = nil // RunSensitivity defaults to Baseline vs IPU
+		tab, err := core.RunSensitivity(sensitivity, sensSpec)
+		if err != nil {
+			return err
+		}
+		if err := emit(tab); err != nil {
+			return err
+		}
+	}
+
+	if replicate > 0 {
+		tab, err := core.ReplicationTable(spec, replicate)
+		if err != nil {
+			return err
+		}
+		if err := emit(tab); err != nil {
+			return err
+		}
+	}
+
+	fmt.Fprintf(out, "done in %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}

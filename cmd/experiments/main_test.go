@@ -1,0 +1,80 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSplitList(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int
+	}{
+		{"", 0},
+		{"ts0", 1},
+		{"ts0,ads", 2},
+		{"ts0, ads , ", 2},
+		{",,", 0},
+	}
+	for _, c := range cases {
+		if got := splitList(c.in); len(got) != c.want {
+			t.Errorf("splitList(%q) = %v, want %d entries", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRunSmallMatrix(t *testing.T) {
+	var out strings.Builder
+	err := run(&out, 0.002, 1, "ads,lun2", "Baseline,IPU", false, false, "", "", 0, false, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"Table 2", "Table 1", "Table 3",
+		"Fig 2", "Fig 5", "Fig 6", "Fig 7", "Fig 8",
+		"Fig 9", "Fig 10", "Fig 11", "Fig 12",
+		"ads", "lun2", "Baseline", "IPU", "done in",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if strings.Contains(s, "MGA") && !strings.Contains(s, "Fig 8") {
+		t.Error("unexpected scheme in filtered run")
+	}
+	if strings.Contains(s, "Fig 13") {
+		t.Error("P/E sweep ran without -pesweep")
+	}
+}
+
+func TestRunWithPESweep(t *testing.T) {
+	var out strings.Builder
+	err := run(&out, 0.002, 1, "ads", "IPU", true, false, "", "", 0, false, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Fig 13", "Fig 14", "1000", "8000"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("sweep output missing %q", want)
+		}
+	}
+}
+
+func TestRunUnknownTrace(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, 0.01, 1, "bogus", "", false, false, "", "", 0, false, 1); err == nil {
+		t.Fatal("unknown trace accepted")
+	}
+}
+
+func TestRunWithReplication(t *testing.T) {
+	var out strings.Builder
+	err := run(&out, 0.002, 1, "ads", "IPU", false, false, "", "", 2, false, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Replication over 2 seeds") {
+		t.Error("replication table missing")
+	}
+}

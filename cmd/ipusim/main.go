@@ -1,0 +1,179 @@
+// Command ipusim replays one block I/O trace against one FTL scheme and
+// prints a full metric report.
+//
+// Usage:
+//
+//	ipusim [-scheme IPU] [-trace ts0 | -file trace.csv] [-scale 0.05]
+//	       [-seed 42] [-pe 4000] [-full] [-printconfig]
+//
+// -trace selects one of the six synthetic paper workloads; -file replays a
+// real trace in MSR-Cambridge CSV format instead.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"ipusim/internal/core"
+	"ipusim/internal/flash"
+	"ipusim/internal/metrics"
+	"ipusim/internal/trace"
+)
+
+func main() {
+	var (
+		schemeName  = flag.String("scheme", "IPU", "FTL scheme: Baseline, MGA or IPU")
+		traceName   = flag.String("trace", "ts0", "synthetic trace profile name")
+		file        = flag.String("file", "", "replay an MSR-format CSV trace file instead")
+		scale       = flag.Float64("scale", 0.05, "synthetic trace scale in (0,1]")
+		seed        = flag.Int64("seed", 42, "synthetic trace seed")
+		pe          = flag.Int("pe", 0, "override P/E baseline (0 = Table 2 default)")
+		full        = flag.Bool("full", false, "use the paper's full Table 2 geometry")
+		printConfig = flag.Bool("printconfig", false, "print Table 2 settings and exit")
+		dist        = flag.Bool("dist", false, "also print the response-time distribution (Fig 5)")
+		asJSON      = flag.Bool("json", false, "emit the result as JSON instead of a table")
+		qd          = flag.Int("qd", 0, "replay closed-loop at this queue depth (0 = open-loop trace replay)")
+		configPath  = flag.String("config", "", "load device/error configuration from a JSON file")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *configPath, *schemeName, *traceName, *file, *scale, *seed, *pe, *qd, *full, *printConfig, *dist, *asJSON); err != nil {
+		fmt.Fprintln(os.Stderr, "ipusim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out io.Writer, configPath, schemeName, traceName, file string, scale float64, seed int64, pe, qd int, full, printConfig, dist, asJSON bool) error {
+	cfg := core.DefaultConfig()
+	if configPath != "" {
+		var err error
+		cfg, err = core.LoadConfigFile(configPath)
+		if err != nil {
+			return err
+		}
+		if schemeName == "" {
+			schemeName = cfg.Scheme
+		}
+	}
+	if full {
+		cfg.Flash = flash.PaperConfig()
+		cfg.Flash.PreFillMLC = true
+	}
+	if pe > 0 {
+		cfg.Flash.PEBaseline = pe
+	}
+	cfg.Scheme = schemeName
+
+	if printConfig {
+		return core.Table2(&cfg.Flash).Render(out)
+	}
+
+	var tr *trace.Trace
+	if file != "" {
+		f, err := os.Open(file)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tr, err = trace.ParseMSR(file, f)
+		if err != nil {
+			return err
+		}
+	} else {
+		p, ok := trace.Profiles[traceName]
+		if !ok {
+			return fmt.Errorf("unknown trace %q (have %v)", traceName, trace.ProfileNames())
+		}
+		var err error
+		tr, err = trace.Generate(p, seed, scale)
+		if err != nil {
+			return err
+		}
+	}
+
+	sim, err := core.New(cfg)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	var res *core.Result
+	if qd > 0 {
+		res, err = sim.RunClosedLoop(tr, qd)
+	} else {
+		res, err = sim.Run(tr)
+	}
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	}
+	if err := printResult(out, res, time.Since(start)); err != nil {
+		return err
+	}
+	if dist {
+		return printDistribution(out, sim)
+	}
+	return nil
+}
+
+// printDistribution renders the response-time histogram and CDF — the
+// distribution view of the paper's Fig. 5.
+func printDistribution(out io.Writer, sim *core.Simulator) error {
+	m := sim.Scheme().Metrics()
+	t := metrics.NewTable("response-time distribution", "bucket", "reads", "writes", "all", "CDF")
+	reads := indexBuckets(m.ReadLatency.Distribution())
+	writes := indexBuckets(m.WriteLatency.Distribution())
+	for _, b := range m.AllLatency.Distribution() {
+		label := fmt.Sprintf("[%s, %s)", metrics.FormatDuration(b.Lo), metrics.FormatDuration(b.Hi))
+		t.AddRow(label,
+			fmt.Sprint(reads[b.Hi]),
+			fmt.Sprint(writes[b.Hi]),
+			fmt.Sprint(b.Count),
+			fmt.Sprintf("%.4f", b.CumFrac))
+	}
+	return t.Render(out)
+}
+
+func indexBuckets(bs []metrics.Bucket) map[time.Duration]int64 {
+	m := make(map[time.Duration]int64, len(bs))
+	for _, b := range bs {
+		m[b.Hi] = b.Count
+	}
+	return m
+}
+
+func printResult(out io.Writer, r *core.Result, wall time.Duration) error {
+	t := metrics.NewTable(fmt.Sprintf("%s on %s (%d requests, P/E %d)", r.Scheme, r.Trace, r.Requests, r.PEBaseline),
+		"Metric", "Value")
+	t.AddRow("avg latency", metrics.FormatDuration(r.AvgLatency))
+	t.AddRow("avg read latency", metrics.FormatDuration(r.AvgReadLatency))
+	t.AddRow("avg write latency", metrics.FormatDuration(r.AvgWriteLatency))
+	t.AddRow("p99 latency", metrics.FormatDuration(r.P99Latency))
+	t.AddRow("read error rate", metrics.FormatSci(r.ReadErrorRate))
+	t.AddRow("read retries", fmt.Sprint(r.ReadRetries))
+	t.AddRow("uncorrectable reads", fmt.Sprint(r.UncorrectableReads))
+	t.AddRow("SLC page programs", fmt.Sprint(r.SLCPrograms))
+	t.AddRow("MLC page programs", fmt.Sprint(r.MLCPrograms))
+	t.AddRow("partial programs", fmt.Sprint(r.PartialPrograms))
+	t.AddRow("SLC erases", fmt.Sprint(r.SLCErases))
+	t.AddRow("MLC erases", fmt.Sprint(r.MLCErases))
+	t.AddRow("writes in Work blocks", fmt.Sprint(r.LevelPrograms[flash.LevelWork]))
+	t.AddRow("writes in Monitor blocks", fmt.Sprint(r.LevelPrograms[flash.LevelMonitor]))
+	t.AddRow("writes in Hot blocks", fmt.Sprint(r.LevelPrograms[flash.LevelHot]))
+	t.AddRow("SLC GCs", fmt.Sprint(r.SLCGCs))
+	t.AddRow("MLC GCs", fmt.Sprint(r.MLCGCs))
+	t.AddRow("GC page utilization", metrics.FormatPct(r.PageUtilization))
+	t.AddRow("GC moved subpages", fmt.Sprint(r.GCMovedSubpages))
+	t.AddRow("mapping table bytes", fmt.Sprint(r.MappingBytes))
+	t.AddRow("mapping normalized", fmt.Sprintf("%.4f", r.MappingNormalized))
+	t.AddRow("host writes to MLC", fmt.Sprint(r.HostWritesToMLC))
+	t.AddRow("subpage reads SLC/MLC", fmt.Sprintf("%d/%d", r.SubpageReadsSLC, r.SubpageReadsMLC))
+	t.AddRow("wall time", wall.Round(time.Millisecond).String())
+	return t.Render(out)
+}

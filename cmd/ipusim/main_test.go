@@ -1,0 +1,128 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ipusim/internal/trace"
+)
+
+func TestRunPrintConfig(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, "", "IPU", "ts0", "", 0.01, 1, 0, 0, false, true, false, false); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Table 2", "Block number", "SLC read time"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("config output missing %q", want)
+		}
+	}
+}
+
+func TestRunSyntheticTrace(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, "", "Baseline", "ads", "", 0.002, 1, 0, 0, false, false, false, false); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Baseline on ads", "avg latency", "read error rate", "SLC erases"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunPEOverride(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, "", "IPU", "ads", "", 0.002, 1, 8000, 0, false, false, false, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "P/E 8000") {
+		t.Error("P/E override not applied")
+	}
+}
+
+func TestRunTraceFile(t *testing.T) {
+	tr, err := trace.Generate(trace.Profiles["lun2"], 2, 0.002)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "lun2.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteMSR(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	var out strings.Builder
+	if err := run(&out, "", "MGA", "", path, 0, 0, 0, 0, false, false, false, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "MGA on") {
+		t.Error("file replay report missing")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, "", "IPU", "nope", "", 0.01, 1, 0, 0, false, false, false, false); err == nil {
+		t.Error("unknown trace accepted")
+	}
+	if err := run(&out, "", "Nope", "ts0", "", 0.01, 1, 0, 0, false, false, false, false); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	if err := run(&out, "", "IPU", "", "/does/not/exist.csv", 0, 0, 0, 0, false, false, false, false); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, "", "IPU", "ads", "", 0.002, 1, 0, 0, false, false, false, true); err != nil {
+		t.Fatal(err)
+	}
+	var res map[string]any
+	if err := jsonUnmarshal(out.String(), &res); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if res["Scheme"] != "IPU" || res["Trace"] != "ads" {
+		t.Errorf("JSON labels: %v %v", res["Scheme"], res["Trace"])
+	}
+	if _, ok := res["ReadErrorRate"].(float64); !ok {
+		t.Error("ReadErrorRate missing from JSON")
+	}
+}
+
+func jsonUnmarshal(s string, v any) error { return json.Unmarshal([]byte(s), v) }
+
+func TestRunClosedLoopFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, "", "IPU", "ads", "", 0.002, 1, 0, 4, false, false, false, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "IPU on ads") {
+		t.Error("closed-loop run missing report")
+	}
+}
+
+func TestRunWithConfigFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cfg.json")
+	cfgJSON := `{"scheme":"Baseline","flash":{"blocks":512,"preFillMLC":false}}`
+	if err := os.WriteFile(path, []byte(cfgJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run(&out, path, "", "ads", "", 0.002, 1, 0, 0, false, false, false, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Baseline on ads") {
+		t.Errorf("config scheme not applied:\n%s", out.String())
+	}
+	if err := run(&out, "/missing.json", "", "ads", "", 0.002, 1, 0, 0, false, false, false, false); err == nil {
+		t.Error("missing config accepted")
+	}
+}

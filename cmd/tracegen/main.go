@@ -1,0 +1,74 @@
+// Command tracegen synthesises one of the paper's six evaluation traces
+// and writes it in MSR-Cambridge CSV format, either to stdout or a file.
+// It also prints the Table 1/Table 3 statistics of the generated trace to
+// stderr so the output can be validated against the paper.
+//
+// Usage:
+//
+//	tracegen -trace wdev0 [-scale 0.05] [-seed 42] [-o wdev0.csv] [-stats]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"ipusim/internal/metrics"
+	"ipusim/internal/trace"
+)
+
+func main() {
+	var (
+		name  = flag.String("trace", "ts0", "trace profile to synthesise")
+		scale = flag.Float64("scale", 0.05, "request-count scale in (0,1]")
+		seed  = flag.Int64("seed", 42, "generator seed")
+		out   = flag.String("o", "", "output file (default stdout)")
+		stats = flag.Bool("stats", true, "print trace statistics to stderr")
+	)
+	flag.Parse()
+	if err := run(os.Stderr, *name, *scale, *seed, *out, *stats); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(statsOut io.Writer, name string, scale float64, seed int64, out string, stats bool) error {
+	p, ok := trace.Profiles[name]
+	if !ok {
+		return fmt.Errorf("unknown trace %q (have %v)", name, trace.ProfileNames())
+	}
+	tr, err := trace.Generate(p, seed, scale)
+	if err != nil {
+		return err
+	}
+	var w io.Writer = os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := trace.WriteMSR(w, tr); err != nil {
+		return err
+	}
+	if stats {
+		s := trace.Analyze(tr)
+		t := metrics.NewTable(fmt.Sprintf("%s statistics", name), "Metric", "Generated", "Paper")
+		t.AddRow("requests", fmt.Sprint(s.Requests), fmt.Sprint(p.Requests))
+		t.AddRow("write ratio", metrics.FormatPct(s.WriteRatio), metrics.FormatPct(p.WriteRatio))
+		t.AddRow("avg write size", fmt.Sprintf("%.1fKB", s.AvgWriteKB), fmt.Sprintf("%.1fKB", p.AvgWriteKB))
+		t.AddRow("hot write ratio", metrics.FormatPct(s.HotWriteRatio), metrics.FormatPct(p.HotWriteRatio))
+		t.AddRow("updates <=4K", metrics.FormatPct(s.UpdateSizeDist.Small), metrics.FormatPct(p.UpdateSizeDist.Small))
+		t.AddRow("updates 4-8K", metrics.FormatPct(s.UpdateSizeDist.Medium), metrics.FormatPct(p.UpdateSizeDist.Medium))
+		t.AddRow("updates >8K", metrics.FormatPct(s.UpdateSizeDist.Large), metrics.FormatPct(p.UpdateSizeDist.Large))
+		t.AddRow("mean inter-arrival", fmt.Sprintf("%.1fus", s.MeanInterarrivalNS/1000), fmt.Sprintf("%.1fus", float64(p.MeanInterarrival.Microseconds())))
+		t.AddRow("inter-arrival CV", fmt.Sprintf("%.2f", s.InterarrivalCV), "-")
+		if err := t.Render(statsOut); err != nil {
+			return err
+		}
+	}
+	return nil
+}

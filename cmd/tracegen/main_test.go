@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ipusim/internal/trace"
+)
+
+func TestRunWritesParsableMSR(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "ts0.csv")
+	var stats strings.Builder
+	if err := run(&stats, "ts0", 0.002, 1, out, true); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.ParseMSR("ts0", f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Records) < 100 {
+		t.Errorf("only %d records generated", len(tr.Records))
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"ts0 statistics", "write ratio", "hot write ratio"} {
+		if !strings.Contains(stats.String(), want) {
+			t.Errorf("stats output missing %q", want)
+		}
+	}
+}
+
+func TestRunNoStats(t *testing.T) {
+	dir := t.TempDir()
+	var stats strings.Builder
+	if err := run(&stats, "ads", 0.002, 1, filepath.Join(dir, "a.csv"), false); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Len() != 0 {
+		t.Error("stats printed despite -stats=false")
+	}
+}
+
+func TestRunUnknownTrace(t *testing.T) {
+	var stats strings.Builder
+	if err := run(&stats, "nope", 0.01, 1, "", false); err == nil {
+		t.Fatal("unknown trace accepted")
+	}
+}
+
+func TestRunBadOutputPath(t *testing.T) {
+	var stats strings.Builder
+	if err := run(&stats, "ts0", 0.002, 1, "/nonexistent-dir/x.csv", false); err == nil {
+		t.Fatal("bad output path accepted")
+	}
+}

@@ -1,0 +1,3 @@
+module ipusim
+
+go 1.22

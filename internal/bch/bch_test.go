@@ -1,0 +1,391 @@
+package bch
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFieldConstruction(t *testing.T) {
+	for m := 4; m <= 14; m++ {
+		f, err := NewField(m)
+		if err != nil {
+			t.Fatalf("m=%d: %v", m, err)
+		}
+		if f.N != 1<<m-1 {
+			t.Errorf("m=%d: N=%d", m, f.N)
+		}
+	}
+	if _, err := NewField(3); err == nil {
+		t.Error("m=3 accepted")
+	}
+	if _, err := NewField(15); err == nil {
+		t.Error("m=15 accepted")
+	}
+}
+
+func TestFieldAxioms(t *testing.T) {
+	f, _ := NewField(8)
+	rng := rand.New(rand.NewSource(1))
+	randElem := func() uint32 { return uint32(rng.Intn(f.N + 1)) }
+	for i := 0; i < 5000; i++ {
+		a, b, c := randElem(), randElem(), randElem()
+		if f.Mul(a, b) != f.Mul(b, a) {
+			t.Fatalf("mul not commutative: %d %d", a, b)
+		}
+		if f.Mul(a, f.Mul(b, c)) != f.Mul(f.Mul(a, b), c) {
+			t.Fatalf("mul not associative")
+		}
+		if f.Mul(a, 1) != a {
+			t.Fatalf("1 not identity for %d", a)
+		}
+		if f.Mul(a, 0) != 0 {
+			t.Fatalf("0 not absorbing for %d", a)
+		}
+		// Distributivity over XOR (field addition).
+		if f.Mul(a, b^c) != f.Mul(a, b)^f.Mul(a, c) {
+			t.Fatalf("not distributive: a=%d b=%d c=%d", a, b, c)
+		}
+		if a != 0 {
+			if f.Mul(a, f.Inv(a)) != 1 {
+				t.Fatalf("inverse broken for %d", a)
+			}
+			if f.Div(b, a) != f.Mul(b, f.Inv(a)) {
+				t.Fatalf("div inconsistent")
+			}
+		}
+	}
+}
+
+func TestFieldPowAndAlpha(t *testing.T) {
+	f, _ := NewField(6)
+	a := f.Alpha(1)
+	x := uint32(1)
+	for k := 0; k < 2*f.N; k++ {
+		if got := f.Pow(a, k); got != x {
+			t.Fatalf("alpha^%d = %d, want %d", k, got, x)
+		}
+		if got := f.Alpha(k); got != x {
+			t.Fatalf("Alpha(%d) = %d, want %d", k, got, x)
+		}
+		x = f.Mul(x, a)
+	}
+	if f.Alpha(-1) != f.Inv(a) {
+		t.Error("Alpha(-1) != alpha^-1")
+	}
+	if f.Pow(0, 0) != 1 || f.Pow(0, 3) != 0 {
+		t.Error("Pow with zero base broken")
+	}
+}
+
+func TestFieldPanics(t *testing.T) {
+	f, _ := NewField(5)
+	for _, fn := range []func(){
+		func() { f.Inv(0) },
+		func() { f.Div(1, 0) },
+		func() { f.Log(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestBitsBasics(t *testing.T) {
+	b := NewBits(130)
+	if b.Len() != 130 || b.OnesCount() != 0 {
+		t.Fatal("fresh Bits not empty")
+	}
+	b.Set(0, 1)
+	b.Set(64, 1)
+	b.Set(129, 1)
+	if b.Get(0) != 1 || b.Get(64) != 1 || b.Get(129) != 1 || b.Get(1) != 0 {
+		t.Fatal("Set/Get broken")
+	}
+	if b.OnesCount() != 3 {
+		t.Fatalf("OnesCount = %d", b.OnesCount())
+	}
+	b.Flip(64)
+	if b.Get(64) != 0 || b.OnesCount() != 2 {
+		t.Fatal("Flip broken")
+	}
+	b.Set(0, 0)
+	if b.Get(0) != 0 {
+		t.Fatal("Set to zero broken")
+	}
+	c := b.Clone()
+	if !c.Equal(b) {
+		t.Fatal("Clone not equal")
+	}
+	c.Flip(5)
+	if c.Equal(b) {
+		t.Fatal("Equal ignores differences")
+	}
+	if b.Equal(NewBits(7)) {
+		t.Fatal("Equal ignores length")
+	}
+}
+
+func TestNewCodeParameters(t *testing.T) {
+	// Classic (15,7,2) BCH code.
+	c, err := New(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N != 15 || c.K != 7 || c.T != 2 {
+		t.Fatalf("(n,k,t) = (%d,%d,%d), want (15,7,2)", c.N, c.K, c.T)
+	}
+	// Its generator is x^8+x^7+x^6+x^4+1 = 0x1D1.
+	g := c.Generator()
+	want := []int{1, 0, 0, 0, 1, 0, 1, 1, 1}
+	if g.Len() != len(want) {
+		t.Fatalf("generator degree %d, want 8", g.Len()-1)
+	}
+	for i, w := range want {
+		if g.Get(i) != w {
+			t.Fatalf("generator bit %d = %d, want %d", i, g.Get(i), w)
+		}
+	}
+}
+
+func TestNewCodeRejections(t *testing.T) {
+	if _, err := New(4, 0); err == nil {
+		t.Error("t=0 accepted")
+	}
+	if _, err := New(4, 8); err == nil {
+		t.Error("2t >= n accepted")
+	}
+	if _, err := New(3, 1); err == nil {
+		t.Error("unsupported field accepted")
+	}
+}
+
+func randomMessage(rng *rand.Rand, k int) *Bits {
+	m := NewBits(k)
+	for i := 0; i < k; i++ {
+		m.Set(i, rng.Intn(2))
+	}
+	return m
+}
+
+func TestEncodeDecodeClean(t *testing.T) {
+	c, err := New(8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		msg := randomMessage(rng, c.K)
+		cw, err := c.Encode(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.Decode(cw)
+		if err != nil || res.Corrected != 0 {
+			t.Fatalf("clean codeword: corrected=%d err=%v", res.Corrected, err)
+		}
+		got, err := c.Extract(cw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(msg) {
+			t.Fatal("systematic extraction mismatch")
+		}
+	}
+}
+
+func TestCodewordDivisibleByGenerator(t *testing.T) {
+	// Every valid codeword must evaluate to zero at alpha^1..alpha^2t.
+	c, _ := New(6, 3)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		cw, _ := c.Encode(randomMessage(rng, c.K))
+		s, dirty := c.syndromes(cw)
+		if dirty {
+			t.Fatalf("codeword has non-zero syndromes: %v", s)
+		}
+	}
+}
+
+func TestCorrectsUpToT(t *testing.T) {
+	for _, p := range []struct{ m, t int }{{4, 2}, {6, 3}, {8, 5}, {10, 8}} {
+		c, err := New(p.m, p.t)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(p.m*100 + p.t)))
+		for e := 0; e <= p.t; e++ {
+			msg := randomMessage(rng, c.K)
+			cw, _ := c.Encode(msg)
+			corrupted := cw.Clone()
+			flipped := map[int]bool{}
+			for len(flipped) < e {
+				pos := rng.Intn(c.N)
+				if !flipped[pos] {
+					flipped[pos] = true
+					corrupted.Flip(pos)
+				}
+			}
+			res, err := c.Decode(corrupted)
+			if err != nil {
+				t.Fatalf("(m=%d t=%d) %d errors: %v", p.m, p.t, e, err)
+			}
+			if res.Corrected != e {
+				t.Fatalf("(m=%d t=%d) corrected %d, want %d", p.m, p.t, res.Corrected, e)
+			}
+			if !corrupted.Equal(cw) {
+				t.Fatalf("(m=%d t=%d) %d errors: codeword not restored", p.m, p.t, e)
+			}
+		}
+	}
+}
+
+func TestDetectsBeyondT(t *testing.T) {
+	c, _ := New(8, 4)
+	rng := rand.New(rand.NewSource(11))
+	detected, miscorrected := 0, 0
+	const trials = 50
+	for trial := 0; trial < trials; trial++ {
+		msg := randomMessage(rng, c.K)
+		cw, _ := c.Encode(msg)
+		corrupted := cw.Clone()
+		flipped := map[int]bool{}
+		for len(flipped) < c.T+3 {
+			pos := rng.Intn(c.N)
+			if !flipped[pos] {
+				flipped[pos] = true
+				corrupted.Flip(pos)
+			}
+		}
+		_, err := c.Decode(corrupted)
+		if err != nil {
+			detected++
+		} else if !corrupted.Equal(cw) {
+			miscorrected++
+		}
+	}
+	// A t+3-error pattern may occasionally land inside another codeword's
+	// sphere (miscorrection) but detection must dominate.
+	if detected < trials/2 {
+		t.Errorf("detected only %d/%d overweight patterns (miscorrected %d)", detected, trials, miscorrected)
+	}
+}
+
+func TestDecodeEffortGrowsWithErrors(t *testing.T) {
+	// This is the property the simulator's analytic ECC model relies on:
+	// more raw errors => more decoder iterations => more latency.
+	c, _ := New(10, 8)
+	rng := rand.New(rand.NewSource(5))
+	msg := randomMessage(rng, c.K)
+	cw, _ := c.Encode(msg)
+	prev := -1
+	for e := 1; e <= c.T; e += 2 {
+		corrupted := cw.Clone()
+		for i := 0; i < e; i++ {
+			corrupted.Flip(i * 17)
+		}
+		res, err := c.Decode(corrupted)
+		if err != nil {
+			t.Fatalf("%d errors: %v", e, err)
+		}
+		if res.Iterations < prev {
+			t.Errorf("iterations fell from %d to %d at %d errors", prev, res.Iterations, e)
+		}
+		prev = res.Iterations
+	}
+}
+
+func TestDecodeRejectsWrongLength(t *testing.T) {
+	c, _ := New(4, 2)
+	if _, err := c.Decode(NewBits(10)); err == nil {
+		t.Error("wrong-length decode accepted")
+	}
+	if _, err := c.Encode(NewBits(3)); err == nil {
+		t.Error("wrong-length encode accepted")
+	}
+	if _, err := c.Extract(NewBits(3)); err == nil {
+		t.Error("wrong-length extract accepted")
+	}
+}
+
+// TestEncodeDecodeQuick is a property test: any message with any error
+// pattern of weight <= t round-trips.
+func TestEncodeDecodeQuick(t *testing.T) {
+	c, err := New(6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64, weight uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := int(weight) % (c.T + 1)
+		msg := randomMessage(rng, c.K)
+		cw, err := c.Encode(msg)
+		if err != nil {
+			return false
+		}
+		corrupted := cw.Clone()
+		flipped := map[int]bool{}
+		for len(flipped) < e {
+			pos := rng.Intn(c.N)
+			if !flipped[pos] {
+				flipped[pos] = true
+				corrupted.Flip(pos)
+			}
+		}
+		res, err := c.Decode(corrupted)
+		return err == nil && res.Corrected == e && corrupted.Equal(cw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	c, _ := New(10, 8)
+	rng := rand.New(rand.NewSource(1))
+	msg := randomMessage(rng, c.K)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Encode(msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	c, _ := New(10, 8)
+	rng := rand.New(rand.NewSource(1))
+	msg := randomMessage(rng, c.K)
+	cw, _ := c.Encode(msg)
+	for _, errs := range []int{0, 4, 8} {
+		b.Run(benchName(errs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				corrupted := cw.Clone()
+				for e := 0; e < errs; e++ {
+					corrupted.Flip(e * 29)
+				}
+				b.StartTimer()
+				if _, err := c.Decode(corrupted); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func benchName(errs int) string {
+	switch errs {
+	case 0:
+		return "clean"
+	case 4:
+		return "4errors"
+	default:
+		return "8errors"
+	}
+}

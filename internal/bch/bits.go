@@ -1,0 +1,62 @@
+package bch
+
+// Bits is a fixed-length bit vector used for messages, codewords and GF(2)
+// polynomials (bit i = coefficient of x^i).
+type Bits struct {
+	n     int
+	words []uint64
+}
+
+// NewBits returns an all-zero bit vector of length n.
+func NewBits(n int) *Bits {
+	return &Bits{n: n, words: make([]uint64, (n+63)/64)}
+}
+
+// Len returns the vector length in bits.
+func (b *Bits) Len() int { return b.n }
+
+// Get returns bit i.
+func (b *Bits) Get(i int) int {
+	return int(b.words[i>>6]>>(uint(i)&63)) & 1
+}
+
+// Set assigns bit i.
+func (b *Bits) Set(i, v int) {
+	if v&1 == 1 {
+		b.words[i>>6] |= 1 << (uint(i) & 63)
+	} else {
+		b.words[i>>6] &^= 1 << (uint(i) & 63)
+	}
+}
+
+// Flip toggles bit i.
+func (b *Bits) Flip(i int) { b.words[i>>6] ^= 1 << (uint(i) & 63) }
+
+// Clone returns a deep copy.
+func (b *Bits) Clone() *Bits {
+	c := NewBits(b.n)
+	copy(c.words, b.words)
+	return c
+}
+
+// Equal reports whether two vectors have identical length and contents.
+func (b *Bits) Equal(o *Bits) bool {
+	if b.n != o.n {
+		return false
+	}
+	for i := range b.words {
+		if b.words[i] != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// OnesCount returns the number of set bits.
+func (b *Bits) OnesCount() int {
+	n := 0
+	for i := 0; i < b.n; i++ {
+		n += b.Get(i)
+	}
+	return n
+}

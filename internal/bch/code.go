@@ -1,0 +1,274 @@
+package bch
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Code is a binary BCH code of length N = 2^m - 1 correcting up to T bit
+// errors, with K data bits per codeword.
+type Code struct {
+	field *Field
+	N     int // codeword length in bits
+	K     int // data length in bits
+	T     int // designed correction capability
+
+	gen *Bits // generator polynomial over GF(2), degree N-K
+}
+
+// ErrUncorrectable is returned when a received word contains more errors
+// than the code can correct (and the decoder detected it).
+var ErrUncorrectable = errors.New("bch: uncorrectable error pattern")
+
+// New constructs a BCH code over GF(2^m) correcting t errors.
+func New(m, t int) (*Code, error) {
+	if t < 1 {
+		return nil, fmt.Errorf("bch: t must be >= 1, got %d", t)
+	}
+	f, err := NewField(m)
+	if err != nil {
+		return nil, err
+	}
+	if 2*t >= f.N {
+		return nil, fmt.Errorf("bch: t=%d too large for n=%d", t, f.N)
+	}
+	gen, err := generatorPoly(f, t)
+	if err != nil {
+		return nil, err
+	}
+	k := f.N - (gen.Len() - 1)
+	if k <= 0 {
+		return nil, fmt.Errorf("bch: no data bits left (m=%d, t=%d)", m, t)
+	}
+	return &Code{field: f, N: f.N, K: k, T: t, gen: gen}, nil
+}
+
+// Field returns the underlying Galois field.
+func (c *Code) Field() *Field { return c.field }
+
+// Generator returns a copy of the generator polynomial (bit i = coefficient
+// of x^i).
+func (c *Code) Generator() *Bits { return c.gen.Clone() }
+
+// generatorPoly computes g(x) = lcm of the minimal polynomials of
+// alpha^1 .. alpha^2t, as a polynomial over GF(2). The trailing bit of the
+// returned vector (index Len()-1) is the leading coefficient.
+func generatorPoly(f *Field, t int) (*Bits, error) {
+	covered := make([]bool, f.N)
+	g := []uint32{1} // polynomial over GF(2^m), index = degree
+	for i := 1; i <= 2*t; i++ {
+		if covered[i] {
+			continue
+		}
+		// Cyclotomic coset of i: {i, 2i, 4i, ...} mod N.
+		var coset []int
+		for j := i; !covered[j]; j = (2 * j) % f.N {
+			covered[j] = true
+			coset = append(coset, j)
+		}
+		// Minimal polynomial of alpha^i: prod over coset of (x + alpha^j).
+		min := []uint32{1}
+		for _, j := range coset {
+			root := f.Alpha(j)
+			next := make([]uint32, len(min)+1)
+			for d, coef := range min {
+				next[d+1] ^= coef            // x * coef
+				next[d] ^= f.Mul(coef, root) // root * coef
+			}
+			min = next
+		}
+		// The minimal polynomial must have GF(2) coefficients.
+		for d, coef := range min {
+			if coef > 1 {
+				return nil, fmt.Errorf("bch: minimal polynomial coefficient %d at degree %d not in GF(2)", coef, d)
+			}
+		}
+		// Multiply into g over GF(2).
+		next := make([]uint32, len(g)+len(min)-1)
+		for a, ca := range g {
+			if ca == 0 {
+				continue
+			}
+			for b, cb := range min {
+				next[a+b] ^= cb
+			}
+		}
+		g = next
+	}
+	out := NewBits(len(g))
+	for d, coef := range g {
+		out.Set(d, int(coef))
+	}
+	return out, nil
+}
+
+// Encode systematically encodes a K-bit message into an N-bit codeword:
+// bits [0, N-K) hold the parity, bits [N-K, N) hold the message.
+func (c *Code) Encode(msg *Bits) (*Bits, error) {
+	if msg.Len() != c.K {
+		return nil, fmt.Errorf("bch: message length %d, want %d", msg.Len(), c.K)
+	}
+	nk := c.N - c.K
+	cw := NewBits(c.N)
+	for i := 0; i < c.K; i++ {
+		cw.Set(nk+i, msg.Get(i))
+	}
+	// Compute x^(n-k)*m(x) mod g(x) with an LFSR over GF(2).
+	reg := make([]int, nk)
+	for i := c.K - 1; i >= 0; i-- {
+		fb := msg.Get(i) ^ reg[nk-1]
+		for j := nk - 1; j > 0; j-- {
+			reg[j] = reg[j-1]
+			if fb == 1 && c.gen.Get(j) == 1 {
+				reg[j] ^= 1
+			}
+		}
+		reg[0] = fb & c.gen.Get(0)
+	}
+	for i := 0; i < nk; i++ {
+		cw.Set(i, reg[i])
+	}
+	return cw, nil
+}
+
+// Extract returns the K message bits of a codeword.
+func (c *Code) Extract(cw *Bits) (*Bits, error) {
+	if cw.Len() != c.N {
+		return nil, fmt.Errorf("bch: codeword length %d, want %d", cw.Len(), c.N)
+	}
+	msg := NewBits(c.K)
+	nk := c.N - c.K
+	for i := 0; i < c.K; i++ {
+		msg.Set(i, cw.Get(nk+i))
+	}
+	return msg, nil
+}
+
+// syndromes evaluates the received polynomial at alpha^1..alpha^2t.
+func (c *Code) syndromes(recv *Bits) ([]uint32, bool) {
+	f := c.field
+	s := make([]uint32, 2*c.T+1) // s[1..2t]
+	anyNonZero := false
+	for i := 0; i < c.N; i++ {
+		if recv.Get(i) == 0 {
+			continue
+		}
+		for j := 1; j <= 2*c.T; j++ {
+			s[j] ^= f.Alpha(i * j)
+		}
+	}
+	for j := 1; j <= 2*c.T; j++ {
+		if s[j] != 0 {
+			anyNonZero = true
+			break
+		}
+	}
+	return s, anyNonZero
+}
+
+// DecodeResult reports how a decode went.
+type DecodeResult struct {
+	// Corrected is the number of bit positions the decoder flipped.
+	Corrected int
+	// Iterations counts the Galois-field multiplications spent in
+	// Berlekamp–Massey and the Chien search — the decoder effort, which
+	// grows with the number of errors and underlies the simulator's
+	// ECC-latency model.
+	Iterations int
+}
+
+// Decode corrects recv in place and reports the number of corrected bits.
+// It returns ErrUncorrectable when the error pattern exceeds the code's
+// capability and the failure is detectable.
+func (c *Code) Decode(recv *Bits) (DecodeResult, error) {
+	var res DecodeResult
+	if recv.Len() != c.N {
+		return res, fmt.Errorf("bch: received length %d, want %d", recv.Len(), c.N)
+	}
+	s, dirty := c.syndromes(recv)
+	if !dirty {
+		return res, nil
+	}
+	f := c.field
+
+	// Berlekamp–Massey: find the error locator sigma(x).
+	sigma := []uint32{1}
+	prev := []uint32{1}
+	var l, shift = 0, 1
+	b := uint32(1)
+	for i := 1; i <= 2*c.T; i++ {
+		// Discrepancy d = S_i + sum_{j=1..l} sigma_j * S_{i-j}.
+		d := s[i]
+		for j := 1; j <= l && j < len(sigma); j++ {
+			if i-j >= 1 {
+				d ^= f.Mul(sigma[j], s[i-j])
+				res.Iterations++
+			}
+		}
+		if d == 0 {
+			shift++
+			continue
+		}
+		// sigma' = sigma - (d/b) * x^shift * prev
+		scale := f.Div(d, b)
+		next := make([]uint32, max(len(sigma), len(prev)+shift))
+		copy(next, sigma)
+		for j, coef := range prev {
+			next[j+shift] ^= f.Mul(scale, coef)
+		}
+		if 2*l <= i-1 {
+			prev = sigma
+			b = d
+			l = i - l
+			shift = 1
+		} else {
+			shift++
+		}
+		sigma = next
+	}
+	// Trim leading zeros.
+	deg := len(sigma) - 1
+	for deg > 0 && sigma[deg] == 0 {
+		deg--
+	}
+	sigma = sigma[:deg+1]
+	if deg > c.T {
+		return res, ErrUncorrectable
+	}
+
+	// Chien search: error at position i iff sigma(alpha^{-i}) == 0.
+	var locs []int
+	for i := 0; i < c.N && len(locs) <= deg; i++ {
+		v := uint32(0)
+		for d, coef := range sigma {
+			if coef != 0 {
+				v ^= f.Mul(coef, f.Alpha(-i*d))
+				res.Iterations++
+			}
+		}
+		if v == 0 {
+			locs = append(locs, i)
+		}
+	}
+	if len(locs) != deg {
+		// sigma does not split over the field: more than T errors.
+		return res, ErrUncorrectable
+	}
+	for _, i := range locs {
+		recv.Flip(i)
+	}
+	res.Corrected = len(locs)
+
+	// Verify: recomputing syndromes guards against miscorrection.
+	if _, stillDirty := c.syndromes(recv); stillDirty {
+		return res, ErrUncorrectable
+	}
+	return res, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,35 @@
+package bch_test
+
+import (
+	"fmt"
+
+	"ipusim/internal/bch"
+)
+
+// Example encodes a message with the classic (15,7) double-error-
+// correcting BCH code, corrupts two bits, and decodes.
+func Example() {
+	code, err := bch.New(4, 2) // GF(2^4): n=15, k=7, t=2
+	if err != nil {
+		panic(err)
+	}
+	msg := bch.NewBits(7)
+	msg.Set(0, 1)
+	msg.Set(3, 1)
+	cw, err := code.Encode(msg)
+	if err != nil {
+		panic(err)
+	}
+	cw.Flip(2)
+	cw.Flip(11)
+	res, err := code.Decode(cw)
+	if err != nil {
+		panic(err)
+	}
+	got, err := code.Extract(cw)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("corrected %d errors, message intact: %v\n", res.Corrected, got.Equal(msg))
+	// Output: corrected 2 errors, message intact: true
+}

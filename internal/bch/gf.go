@@ -1,0 +1,122 @@
+// Package bch implements binary BCH error-correcting codes over GF(2^m):
+// field arithmetic, generator-polynomial construction, systematic encoding,
+// and syndrome decoding with Berlekamp–Massey and Chien search.
+//
+// The SSD simulator uses an analytic ECC-latency model in its hot path
+// (internal/errmodel); this package is the concrete substrate behind that
+// model — the paper's Table 2 cites a hardware BCH engine (Micheloni et
+// al., ISSCC'06) — and is exercised by tests, benchmarks and the endurance
+// example to validate that decode effort grows with the raw error count.
+package bch
+
+import "fmt"
+
+// primitivePolys[m] is a primitive polynomial of degree m over GF(2),
+// encoded with bit i representing x^i.
+var primitivePolys = map[int]uint32{
+	4:  0x13,   // x^4 + x + 1
+	5:  0x25,   // x^5 + x^2 + 1
+	6:  0x43,   // x^6 + x + 1
+	7:  0x89,   // x^7 + x^3 + 1
+	8:  0x11d,  // x^8 + x^4 + x^3 + x^2 + 1
+	9:  0x211,  // x^9 + x^4 + 1
+	10: 0x409,  // x^10 + x^3 + 1
+	11: 0x805,  // x^11 + x^2 + 1
+	12: 0x1053, // x^12 + x^6 + x^4 + x + 1
+	13: 0x201b, // x^13 + x^4 + x^3 + x + 1
+	14: 0x4443, // x^14 + x^10 + x^6 + x + 1
+}
+
+// Field is GF(2^m) with log/antilog tables for O(1) multiply and inverse.
+type Field struct {
+	M int // extension degree
+	N int // multiplicative group order, 2^m - 1
+
+	exp []uint32 // exp[i] = alpha^i, length 2N to avoid modular reduction
+	log []int    // log[x] = i such that alpha^i == x, log[0] undefined
+}
+
+// NewField constructs GF(2^m) for 4 <= m <= 14.
+func NewField(m int) (*Field, error) {
+	poly, ok := primitivePolys[m]
+	if !ok {
+		return nil, fmt.Errorf("bch: no primitive polynomial for m=%d (supported 4..14)", m)
+	}
+	n := 1<<m - 1
+	f := &Field{
+		M:   m,
+		N:   n,
+		exp: make([]uint32, 2*n),
+		log: make([]int, n+1),
+	}
+	x := uint32(1)
+	for i := 0; i < n; i++ {
+		f.exp[i] = x
+		f.exp[i+n] = x
+		f.log[x] = i
+		x <<= 1
+		if x&(1<<m) != 0 {
+			x ^= poly
+		}
+	}
+	return f, nil
+}
+
+// Mul multiplies two field elements.
+func (f *Field) Mul(a, b uint32) uint32 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return f.exp[f.log[a]+f.log[b]]
+}
+
+// Inv returns the multiplicative inverse of a non-zero element.
+func (f *Field) Inv(a uint32) uint32 {
+	if a == 0 {
+		panic("bch: inverse of zero")
+	}
+	return f.exp[f.N-f.log[a]]
+}
+
+// Div divides a by a non-zero b.
+func (f *Field) Div(a, b uint32) uint32 {
+	if b == 0 {
+		panic("bch: division by zero")
+	}
+	if a == 0 {
+		return 0
+	}
+	return f.exp[f.log[a]+f.N-f.log[b]]
+}
+
+// Pow returns alpha^(log(a) * k) — i.e. a raised to the k-th power.
+func (f *Field) Pow(a uint32, k int) uint32 {
+	if a == 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	e := (f.log[a] * k) % f.N
+	if e < 0 {
+		e += f.N
+	}
+	return f.exp[e]
+}
+
+// Alpha returns alpha^i for any integer i.
+func (f *Field) Alpha(i int) uint32 {
+	i %= f.N
+	if i < 0 {
+		i += f.N
+	}
+	return f.exp[i]
+}
+
+// Log returns the discrete logarithm of a non-zero element.
+func (f *Field) Log(a uint32) int {
+	if a == 0 {
+		panic("bch: log of zero")
+	}
+	return f.log[a]
+}

@@ -1,0 +1,121 @@
+package bch
+
+import (
+	"errors"
+	"fmt"
+)
+
+// SectorCodec protects byte sectors (e.g. the simulator's 4 KiB subpages)
+// the way flash controllers do: the sector is split across several
+// shortened interleaved BCH codewords, so a burst of raw bit errors is
+// spread over independent codewords and each stays within its correction
+// capability.
+type SectorCodec struct {
+	code       *Code
+	sectorSize int // bytes per sector
+	interleave int // number of codewords per sector
+	dataBits   int // message bits carried per codeword (shortened)
+}
+
+// NewSectorCodec builds a codec for sectorSize-byte sectors over the given
+// BCH code, splitting each sector across interleave codewords.
+func NewSectorCodec(code *Code, sectorSize, interleave int) (*SectorCodec, error) {
+	if sectorSize <= 0 {
+		return nil, fmt.Errorf("bch: sector size %d must be positive", sectorSize)
+	}
+	if interleave <= 0 {
+		return nil, fmt.Errorf("bch: interleave %d must be positive", interleave)
+	}
+	totalBits := sectorSize * 8
+	dataBits := (totalBits + interleave - 1) / interleave
+	if dataBits > code.K {
+		return nil, fmt.Errorf("bch: %d data bits per codeword exceed the code's k=%d; raise interleave",
+			dataBits, code.K)
+	}
+	return &SectorCodec{code: code, sectorSize: sectorSize, interleave: interleave, dataBits: dataBits}, nil
+}
+
+// SectorSize returns the protected sector size in bytes.
+func (c *SectorCodec) SectorSize() int { return c.sectorSize }
+
+// Interleave returns the number of codewords per sector.
+func (c *SectorCodec) Interleave() int { return c.interleave }
+
+// CorrectableBitsPerSector returns the total raw-bit-error budget of one
+// sector — T errors per codeword, provided the interleaving spreads them.
+func (c *SectorCodec) CorrectableBitsPerSector() int { return c.code.T * c.interleave }
+
+// Encode produces the interleaved codewords protecting a sector.
+// Data bit i of the sector goes to codeword i%interleave — adjacent bits
+// land in different codewords, the standard burst-spreading layout.
+func (c *SectorCodec) Encode(sector []byte) ([]*Bits, error) {
+	if len(sector) != c.sectorSize {
+		return nil, fmt.Errorf("bch: sector length %d, want %d", len(sector), c.sectorSize)
+	}
+	msgs := make([]*Bits, c.interleave)
+	for i := range msgs {
+		msgs[i] = NewBits(c.code.K) // shortened: leading bits stay zero
+	}
+	fill := make([]int, c.interleave)
+	for i := 0; i < c.sectorSize*8; i++ {
+		bit := int(sector[i>>3]>>(uint(i)&7)) & 1
+		w := i % c.interleave
+		msgs[w].Set(fill[w], bit)
+		fill[w]++
+	}
+	out := make([]*Bits, c.interleave)
+	for i, m := range msgs {
+		cw, err := c.code.Encode(m)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = cw
+	}
+	return out, nil
+}
+
+// ErrSectorUncorrectable reports a sector whose raw errors exceeded the
+// codec's capability.
+var ErrSectorUncorrectable = errors.New("bch: sector uncorrectable")
+
+// SectorDecodeResult aggregates per-codeword decode outcomes.
+type SectorDecodeResult struct {
+	// Corrected is the total bit errors fixed across the codewords.
+	Corrected int
+	// Iterations is the total decoder effort (see DecodeResult).
+	Iterations int
+}
+
+// Decode corrects the received codewords in place and reassembles the
+// sector. It returns ErrSectorUncorrectable (wrapped) when any codeword
+// fails.
+func (c *SectorCodec) Decode(received []*Bits) ([]byte, SectorDecodeResult, error) {
+	var res SectorDecodeResult
+	if len(received) != c.interleave {
+		return nil, res, fmt.Errorf("bch: %d codewords, want %d", len(received), c.interleave)
+	}
+	msgs := make([]*Bits, c.interleave)
+	for i, cw := range received {
+		r, err := c.code.Decode(cw)
+		res.Corrected += r.Corrected
+		res.Iterations += r.Iterations
+		if err != nil {
+			return nil, res, fmt.Errorf("%w: codeword %d: %v", ErrSectorUncorrectable, i, err)
+		}
+		m, err := c.code.Extract(cw)
+		if err != nil {
+			return nil, res, err
+		}
+		msgs[i] = m
+	}
+	sector := make([]byte, c.sectorSize)
+	take := make([]int, c.interleave)
+	for i := 0; i < c.sectorSize*8; i++ {
+		w := i % c.interleave
+		if msgs[w].Get(take[w]) == 1 {
+			sector[i>>3] |= 1 << (uint(i) & 7)
+		}
+		take[w]++
+	}
+	return sector, res, nil
+}

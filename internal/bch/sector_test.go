@@ -1,0 +1,152 @@
+package bch
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func sectorCodec(t *testing.T) *SectorCodec {
+	t.Helper()
+	code, err := New(10, 8) // n=1023, k=943, t=8
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 512-byte sectors: 4096 bits over 5 codewords = 820 bits each < 943.
+	c, err := NewSectorCodec(code, 512, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func randSector(rng *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}
+
+func TestSectorCodecRejections(t *testing.T) {
+	code, _ := New(10, 8)
+	if _, err := NewSectorCodec(code, 0, 4); err == nil {
+		t.Error("zero sector size accepted")
+	}
+	if _, err := NewSectorCodec(code, 512, 0); err == nil {
+		t.Error("zero interleave accepted")
+	}
+	// 512 bytes in 1 codeword: 4096 bits > k=943.
+	if _, err := NewSectorCodec(code, 512, 1); err == nil {
+		t.Error("oversized payload accepted")
+	}
+}
+
+func TestSectorRoundTripClean(t *testing.T) {
+	c := sectorCodec(t)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 5; trial++ {
+		sector := randSector(rng, 512)
+		cws, err := c.Encode(sector)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cws) != 5 {
+			t.Fatalf("codewords = %d", len(cws))
+		}
+		got, res, err := c.Decode(cws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Corrected != 0 {
+			t.Errorf("clean decode corrected %d", res.Corrected)
+		}
+		if !bytes.Equal(got, sector) {
+			t.Fatal("round trip mismatch")
+		}
+	}
+}
+
+func TestSectorCorrectsScatteredErrors(t *testing.T) {
+	c := sectorCodec(t)
+	rng := rand.New(rand.NewSource(2))
+	sector := randSector(rng, 512)
+	cws, err := c.Encode(sector)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip up to T errors in every codeword: the full sector budget.
+	flipped := 0
+	for _, cw := range cws {
+		for e := 0; e < 8; e++ {
+			cw.Flip(e * 117 % cw.Len())
+			flipped++
+		}
+	}
+	got, res, err := c.Decode(cws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Corrected != flipped {
+		t.Errorf("corrected %d of %d", res.Corrected, flipped)
+	}
+	if !bytes.Equal(got, sector) {
+		t.Fatal("sector not restored")
+	}
+	if flipped != c.CorrectableBitsPerSector() {
+		t.Errorf("budget %d, injected %d", c.CorrectableBitsPerSector(), flipped)
+	}
+}
+
+func TestSectorBurstSpreadsAcrossCodewords(t *testing.T) {
+	// A contiguous burst of stored-bit errors lands in different codewords
+	// thanks to interleaving: a 20-bit burst (far beyond one codeword's
+	// t=8) contributes only ceil(20/5)=4 errors per codeword and decodes.
+	c := sectorCodec(t)
+	rng := rand.New(rand.NewSource(3))
+	sector := randSector(rng, 512)
+	cws, err := c.Encode(sector)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bit := 0; bit < 20; bit++ {
+		w := bit % c.Interleave()
+		pos := bit / c.Interleave()
+		// Message bit pos lives at codeword offset (N-K)+pos.
+		cws[w].Flip(cws[w].Len() - c.code.K + pos)
+	}
+	got, res, err := c.Decode(cws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, sector) {
+		t.Fatal("burst not corrected")
+	}
+	if res.Corrected != 20 {
+		t.Errorf("corrected %d, want 20", res.Corrected)
+	}
+}
+
+func TestSectorUncorrectable(t *testing.T) {
+	c := sectorCodec(t)
+	rng := rand.New(rand.NewSource(4))
+	sector := randSector(rng, 512)
+	cws, _ := c.Encode(sector)
+	// Overwhelm one codeword far beyond T.
+	for e := 0; e < 40; e++ {
+		cws[0].Flip(e * 13 % cws[0].Len())
+	}
+	_, _, err := c.Decode(cws)
+	if !errors.Is(err, ErrSectorUncorrectable) {
+		t.Fatalf("err = %v, want ErrSectorUncorrectable", err)
+	}
+}
+
+func TestSectorDecodeWrongShape(t *testing.T) {
+	c := sectorCodec(t)
+	if _, _, err := c.Decode(make([]*Bits, 2)); err == nil {
+		t.Error("wrong codeword count accepted")
+	}
+	if _, err := c.Encode(make([]byte, 100)); err == nil {
+		t.Error("wrong sector size accepted")
+	}
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// JSONDuration unmarshals either a Go duration string ("300us", "10ms") or
+// a plain number of nanoseconds, so config files stay human-readable.
+type JSONDuration time.Duration
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (d *JSONDuration) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		v, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("core: bad duration %q: %w", s, err)
+		}
+		*d = JSONDuration(v)
+		return nil
+	}
+	var ns int64
+	if err := json.Unmarshal(b, &ns); err != nil {
+		return fmt.Errorf("core: duration must be a string or nanoseconds: %s", b)
+	}
+	*d = JSONDuration(ns)
+	return nil
+}
+
+// MarshalJSON implements json.Marshaler.
+func (d JSONDuration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// fileConfig is the on-disk configuration schema. Every field is optional:
+// absent fields keep the evaluation defaults, so a config file only states
+// what it changes.
+type fileConfig struct {
+	Scheme string `json:"scheme,omitempty"`
+
+	Flash struct {
+		Channels               *int          `json:"channels,omitempty"`
+		ChipsPerChannel        *int          `json:"chipsPerChannel,omitempty"`
+		DiesPerChip            *int          `json:"diesPerChip,omitempty"`
+		PlanesPerDie           *int          `json:"planesPerDie,omitempty"`
+		Blocks                 *int          `json:"blocks,omitempty"`
+		SLCRatio               *float64      `json:"slcRatio,omitempty"`
+		SLCPagesPerBlock       *int          `json:"slcPagesPerBlock,omitempty"`
+		MLCPagesPerBlock       *int          `json:"mlcPagesPerBlock,omitempty"`
+		PageSizeBytes          *int          `json:"pageSizeBytes,omitempty"`
+		SubpageSizeBytes       *int          `json:"subpageSizeBytes,omitempty"`
+		MaxProgramsPerSLCPage  *int          `json:"maxProgramsPerSLCPage,omitempty"`
+		GCThresholdFraction    *float64      `json:"gcThresholdFraction,omitempty"`
+		MLCGCThresholdFraction *float64      `json:"mlcGcThresholdFraction,omitempty"`
+		GCBacklogCap           *JSONDuration `json:"gcBacklogCap,omitempty"`
+		PEBaseline             *int          `json:"peBaseline,omitempty"`
+		LogicalSubpages        *int          `json:"logicalSubpages,omitempty"`
+		PreFillMLC             *bool         `json:"preFillMLC,omitempty"`
+
+		Timing struct {
+			SLCRead            *JSONDuration `json:"slcRead,omitempty"`
+			MLCRead            *JSONDuration `json:"mlcRead,omitempty"`
+			SLCProgram         *JSONDuration `json:"slcProgram,omitempty"`
+			MLCProgram         *JSONDuration `json:"mlcProgram,omitempty"`
+			Erase              *JSONDuration `json:"erase,omitempty"`
+			ECCMin             *JSONDuration `json:"eccMin,omitempty"`
+			ECCMax             *JSONDuration `json:"eccMax,omitempty"`
+			TransferPerSubpage *JSONDuration `json:"transferPerSubpage,omitempty"`
+		} `json:"timing"`
+	} `json:"flash"`
+
+	Error struct {
+		RefPE         *float64 `json:"refPE,omitempty"`
+		RefBER        *float64 `json:"refBER,omitempty"`
+		Exponent      *float64 `json:"exponent,omitempty"`
+		PartialFactor *float64 `json:"partialFactor,omitempty"`
+		InPageAlpha   *float64 `json:"inPageAlpha,omitempty"`
+		NeighborBeta  *float64 `json:"neighborBeta,omitempty"`
+	} `json:"error"`
+}
+
+// LoadConfig reads a JSON configuration, overlaying it on the evaluation
+// defaults (DefaultConfig). Unknown fields are rejected so typos fail
+// loudly. The resulting configuration is validated.
+func LoadConfig(r io.Reader) (Config, error) {
+	cfg := DefaultConfig()
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var fc fileConfig
+	if err := dec.Decode(&fc); err != nil {
+		return cfg, fmt.Errorf("core: config: %w", err)
+	}
+	if fc.Scheme != "" {
+		cfg.Scheme = fc.Scheme
+	}
+
+	setInt := func(dst *int, src *int) {
+		if src != nil {
+			*dst = *src
+		}
+	}
+	setF := func(dst *float64, src *float64) {
+		if src != nil {
+			*dst = *src
+		}
+	}
+	setD := func(dst *time.Duration, src *JSONDuration) {
+		if src != nil {
+			*dst = time.Duration(*src)
+		}
+	}
+
+	f := &fc.Flash
+	logicalSet := f.LogicalSubpages != nil
+	setInt(&cfg.Flash.Channels, f.Channels)
+	setInt(&cfg.Flash.ChipsPerChannel, f.ChipsPerChannel)
+	setInt(&cfg.Flash.DiesPerChip, f.DiesPerChip)
+	setInt(&cfg.Flash.PlanesPerDie, f.PlanesPerDie)
+	setInt(&cfg.Flash.Blocks, f.Blocks)
+	setF(&cfg.Flash.SLCRatio, f.SLCRatio)
+	setInt(&cfg.Flash.SLCPagesPerBlock, f.SLCPagesPerBlock)
+	setInt(&cfg.Flash.MLCPagesPerBlock, f.MLCPagesPerBlock)
+	setInt(&cfg.Flash.PageSizeBytes, f.PageSizeBytes)
+	setInt(&cfg.Flash.SubpageSizeBytes, f.SubpageSizeBytes)
+	setInt(&cfg.Flash.MaxProgramsPerSLCPage, f.MaxProgramsPerSLCPage)
+	setF(&cfg.Flash.GCThresholdFraction, f.GCThresholdFraction)
+	setF(&cfg.Flash.MLCGCThresholdFraction, f.MLCGCThresholdFraction)
+	setD(&cfg.Flash.GCBacklogCap, f.GCBacklogCap)
+	setInt(&cfg.Flash.PEBaseline, f.PEBaseline)
+	setInt(&cfg.Flash.LogicalSubpages, f.LogicalSubpages)
+	if f.PreFillMLC != nil {
+		cfg.Flash.PreFillMLC = *f.PreFillMLC
+	}
+	t := &f.Timing
+	setD(&cfg.Flash.Timing.SLCRead, t.SLCRead)
+	setD(&cfg.Flash.Timing.MLCRead, t.MLCRead)
+	setD(&cfg.Flash.Timing.SLCProgram, t.SLCProgram)
+	setD(&cfg.Flash.Timing.MLCProgram, t.MLCProgram)
+	setD(&cfg.Flash.Timing.Erase, t.Erase)
+	setD(&cfg.Flash.Timing.ECCMin, t.ECCMin)
+	setD(&cfg.Flash.Timing.ECCMax, t.ECCMax)
+	setD(&cfg.Flash.Timing.TransferPerSubpage, t.TransferPerSubpage)
+
+	// If geometry changed but the logical space was not set explicitly,
+	// re-derive it from the (new) MLC capacity like the defaults do.
+	if !logicalSet {
+		cfg.Flash.LogicalSubpages = cfg.Flash.MLCSubpages() * 3 / 4
+	}
+
+	e := &fc.Error
+	setF(&cfg.Error.RefPE, e.RefPE)
+	setF(&cfg.Error.RefBER, e.RefBER)
+	setF(&cfg.Error.Exponent, e.Exponent)
+	setF(&cfg.Error.PartialFactor, e.PartialFactor)
+	setF(&cfg.Error.InPageAlpha, e.InPageAlpha)
+	setF(&cfg.Error.NeighborBeta, e.NeighborBeta)
+
+	if err := cfg.Flash.Validate(); err != nil {
+		return cfg, fmt.Errorf("core: config: %w", err)
+	}
+	if err := cfg.Error.Validate(); err != nil {
+		return cfg, fmt.Errorf("core: config: %w", err)
+	}
+	return cfg, nil
+}
+
+// LoadConfigFile is LoadConfig over a file path.
+func LoadConfigFile(path string) (Config, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Config{}, err
+	}
+	defer f.Close()
+	return LoadConfig(f)
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLoadConfigDefaultsWhenEmpty(t *testing.T) {
+	cfg, err := LoadConfig(strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := DefaultConfig()
+	if cfg.Scheme != def.Scheme || cfg.Flash.Blocks != def.Flash.Blocks {
+		t.Errorf("empty config diverged from defaults")
+	}
+	if !cfg.Flash.PreFillMLC {
+		t.Error("default preconditioning lost")
+	}
+}
+
+func TestLoadConfigOverlays(t *testing.T) {
+	in := `{
+		"scheme": "MGA",
+		"flash": {
+			"blocks": 512,
+			"slcRatio": 0.1,
+			"peBaseline": 8000,
+			"preFillMLC": false,
+			"timing": {"slcProgram": "350us", "erase": 5000000}
+		},
+		"error": {"inPageAlpha": 0.09}
+	}`
+	cfg, err := LoadConfig(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Scheme != "MGA" {
+		t.Errorf("scheme = %q", cfg.Scheme)
+	}
+	if cfg.Flash.Blocks != 512 || cfg.Flash.SLCRatio != 0.1 || cfg.Flash.PEBaseline != 8000 {
+		t.Errorf("flash overlay: %+v", cfg.Flash)
+	}
+	if cfg.Flash.PreFillMLC {
+		t.Error("preFillMLC=false ignored")
+	}
+	if cfg.Flash.Timing.SLCProgram != 350*time.Microsecond {
+		t.Errorf("slcProgram = %v", cfg.Flash.Timing.SLCProgram)
+	}
+	if cfg.Flash.Timing.Erase != 5*time.Millisecond {
+		t.Errorf("numeric-ns duration: %v", cfg.Flash.Timing.Erase)
+	}
+	if cfg.Error.InPageAlpha != 0.09 {
+		t.Errorf("error overlay: %+v", cfg.Error)
+	}
+	// Logical space must be re-derived for the smaller geometry.
+	if cfg.Flash.LogicalSubpages != cfg.Flash.MLCSubpages()*3/4 {
+		t.Errorf("logical space not re-derived: %d", cfg.Flash.LogicalSubpages)
+	}
+	// And the loaded config must actually build.
+	if _, err := New(cfg); err != nil {
+		t.Fatalf("loaded config does not build: %v", err)
+	}
+}
+
+func TestLoadConfigExplicitLogicalSpace(t *testing.T) {
+	in := `{"flash": {"blocks": 512, "logicalSubpages": 100000}}`
+	cfg, err := LoadConfig(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Flash.LogicalSubpages != 100000 {
+		t.Errorf("explicit logical space overridden: %d", cfg.Flash.LogicalSubpages)
+	}
+}
+
+func TestLoadConfigRejections(t *testing.T) {
+	cases := []string{
+		`{"flash": {"blocs": 512}}`,                // typo: unknown field
+		`{"flash": {"blocks": 0}}`,                 // invalid geometry
+		`{"flash": {"timing": {"slcRead": "xx"}}}`, // bad duration
+		`{"flash": {"timing": {"slcRead": true}}}`, // wrong type
+		`{"error": {"partialFactor": 0.5}}`,        // invalid error model
+		`not json`,
+	}
+	for _, in := range cases {
+		if _, err := LoadConfig(strings.NewReader(in)); err == nil {
+			t.Errorf("accepted %q", in)
+		}
+	}
+}
+
+func TestLoadConfigFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cfg.json")
+	if err := os.WriteFile(path, []byte(`{"scheme":"Baseline"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := LoadConfigFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Scheme != "Baseline" {
+		t.Errorf("scheme = %q", cfg.Scheme)
+	}
+	if _, err := LoadConfigFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestJSONDurationMarshal(t *testing.T) {
+	b, err := json.Marshal(JSONDuration(25 * time.Microsecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `"25µs"` {
+		t.Errorf("marshal = %s", b)
+	}
+}

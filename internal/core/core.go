@@ -1,0 +1,272 @@
+// Package core is the public façade of the simulator: it assembles the
+// flash substrate, timing engine, error model and a chosen FTL scheme into
+// a Simulator that replays block I/O traces, and provides the parallel
+// experiment harness plus per-figure reporting that regenerates every
+// table and figure of the paper's evaluation.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"ipusim/internal/errmodel"
+	"ipusim/internal/flash"
+	"ipusim/internal/ftl"
+	"ipusim/internal/scheme"
+	"ipusim/internal/trace"
+)
+
+// SchemeNames lists the comparison counterparts in the paper's order.
+var SchemeNames = []string{"Baseline", "MGA", "IPU"}
+
+// Config assembles one simulation run.
+type Config struct {
+	// Flash is the device geometry and timing (Table 2 defaults).
+	Flash flash.Config
+	// Error is the reliability model (Fig. 2 defaults).
+	Error errmodel.Model
+	// Scheme selects the FTL: "Baseline", "MGA" or "IPU".
+	Scheme string
+}
+
+// DefaultConfig returns the scaled-down Table 2 geometry with the paper's
+// error model, running the IPU scheme on a preconditioned (pre-filled)
+// device, as the evaluation does.
+func DefaultConfig() Config {
+	fc := flash.DefaultConfig()
+	fc.PreFillMLC = true
+	return Config{
+		Flash:  fc,
+		Error:  errmodel.Default(),
+		Scheme: "IPU",
+	}
+}
+
+// Simulator replays block I/O requests against one scheme instance.
+type Simulator struct {
+	cfg    Config
+	scheme scheme.Scheme
+}
+
+// New builds a simulator. The flash configuration is copied, so one Config
+// value can seed many simulators.
+func New(cfg Config) (*Simulator, error) {
+	fc := cfg.Flash // copy: the scheme retains a pointer
+	em := cfg.Error
+	var s scheme.Scheme
+	var err error
+	switch cfg.Scheme {
+	case "Baseline":
+		s, err = scheme.NewBaseline(&fc, &em)
+	case "MGA":
+		s, err = scheme.NewMGA(&fc, &em)
+	default:
+		// IPU and its ablation/extension variants (IPU-greedyGC,
+		// IPU-flat, IPU-noupdate, IPU-AC).
+		v, ok := scheme.IPUVariants()[cfg.Scheme]
+		if !ok {
+			return nil, fmt.Errorf("core: unknown scheme %q (want Baseline, MGA, IPU or an IPU variant)", cfg.Scheme)
+		}
+		s, err = scheme.NewIPUVariant(&fc, &em, v)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Simulator{cfg: cfg, scheme: s}, nil
+}
+
+// Scheme returns the underlying FTL.
+func (s *Simulator) Scheme() scheme.Scheme { return s.scheme }
+
+// Write services one host write request.
+func (s *Simulator) Write(now int64, offset int64, size int) int64 {
+	return s.scheme.Write(now, offset, size)
+}
+
+// Read services one host read request.
+func (s *Simulator) Read(now int64, offset int64, size int) int64 {
+	return s.scheme.Read(now, offset, size)
+}
+
+// Run replays a trace and returns the aggregated result. Offsets wrap
+// modulo the logical space, so traces larger than the device still replay.
+func (s *Simulator) Run(tr *trace.Trace) (*Result, error) {
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	for _, r := range tr.Records {
+		if r.Op == trace.OpWrite {
+			s.scheme.Write(r.Time, r.Offset, r.Size)
+		} else {
+			s.scheme.Read(r.Time, r.Offset, r.Size)
+		}
+	}
+	return s.Result(tr.Name, len(tr.Records)), nil
+}
+
+// RunClosedLoop replays a trace with a bounded number of outstanding
+// requests: request i is not issued before request i-depth has completed,
+// the way a benchmark driver with a fixed queue depth behaves (in contrast
+// to Run's open-loop replay, which issues at trace timestamps regardless
+// of completions). Under saturation the closed loop self-paces instead of
+// building unbounded queues, exposing the device's sustainable throughput.
+func (s *Simulator) RunClosedLoop(tr *trace.Trace, depth int) (*Result, error) {
+	if depth < 1 {
+		return nil, fmt.Errorf("core: queue depth %d must be at least 1", depth)
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	ring := make([]int64, depth)
+	for i, r := range tr.Records {
+		issue := r.Time
+		if gate := ring[i%depth]; gate > issue {
+			issue = gate
+		}
+		var end int64
+		if r.Op == trace.OpWrite {
+			end = s.scheme.Write(issue, r.Offset, r.Size)
+		} else {
+			end = s.scheme.Read(issue, r.Offset, r.Size)
+		}
+		ring[i%depth] = end
+	}
+	return s.Result(tr.Name, len(tr.Records)), nil
+}
+
+// Result snapshots the run's statistics.
+func (s *Simulator) Result(traceName string, requests int) *Result {
+	d := s.scheme.Device()
+	m := s.scheme.Metrics()
+	mm := ftl.NewMemoryModel(d.Cfg)
+
+	var mapBytes int64
+	switch s.cfg.Scheme {
+	case "Baseline":
+		mapBytes = mm.BaselineBytes()
+	case "MGA":
+		mapBytes = mm.MGABytes(m.PeakSLCValidSubpages)
+	default:
+		mapBytes = mm.IPUBytes(m.PeakSLCFramePages)
+	}
+
+	wearMin, wearMax := -1, 0
+	for _, id := range d.Arr.SLCBlockIDs() {
+		ec := d.Arr.Block(id).EraseCount
+		if wearMin < 0 || ec < wearMin {
+			wearMin = ec
+		}
+		if ec > wearMax {
+			wearMax = ec
+		}
+	}
+	if wearMin < 0 {
+		wearMin = 0
+	}
+
+	return &Result{
+		Trace:              traceName,
+		Scheme:             s.cfg.Scheme,
+		PEBaseline:         d.Cfg.PEBaseline,
+		Requests:           requests,
+		AvgReadLatency:     m.ReadLatency.Mean(),
+		AvgWriteLatency:    m.WriteLatency.Mean(),
+		AvgLatency:         m.AllLatency.Mean(),
+		P99Latency:         m.AllLatency.Percentile(0.99),
+		ReadErrorRate:      m.ReadBER.Mean(),
+		UncorrectableReads: m.UncorrectableReads,
+		ReadRetries:        m.ReadRetries,
+		SLCPrograms:        d.Arr.SLCPrograms,
+		MLCPrograms:        d.Arr.MLCPrograms,
+		PartialPrograms:    d.Arr.PartialPrograms,
+		SLCErases:          d.Arr.SLCErases,
+		MLCErases:          d.Arr.MLCErases,
+		LevelPrograms:      m.LevelPrograms,
+		SLCGCs:             m.SLCGCs,
+		MLCGCs:             m.MLCGCs,
+		PageUtilization:    m.PageUtilization(),
+		GCScanNS:           m.GCScanNS,
+		GCBlocksScanned:    m.GCBlocksScanned,
+		GCMovedSubpages:    m.GCMovedSubpages,
+		MappingBytes:       mapBytes,
+		MappingNormalized:  mm.Normalized(mapBytes),
+		HostWritesToMLC:    m.HostWritesToMLC,
+		SubpageReadsSLC:    m.SubpageReadsSLC,
+		SubpageReadsMLC:    m.SubpageReadsMLC,
+		SLCWearMin:         wearMin,
+		SLCWearMax:         wearMax,
+	}
+}
+
+// Result is the aggregated outcome of one (trace, scheme) run; it carries
+// every quantity the paper's figures report.
+type Result struct {
+	Trace      string
+	Scheme     string
+	PEBaseline int
+	Requests   int
+
+	// Fig. 5 / Fig. 13.
+	AvgReadLatency  time.Duration
+	AvgWriteLatency time.Duration
+	AvgLatency      time.Duration
+	P99Latency      time.Duration
+
+	// Fig. 8 / Fig. 14.
+	ReadErrorRate      float64
+	UncorrectableReads int64
+	ReadRetries        int64
+
+	// Fig. 6.
+	SLCPrograms, MLCPrograms int64
+	PartialPrograms          int64
+
+	// Fig. 10.
+	SLCErases, MLCErases int64
+
+	// Fig. 7.
+	LevelPrograms [flash.LevelHot + 1]int64
+
+	// Fig. 9 and GC bookkeeping.
+	SLCGCs, MLCGCs  int64
+	PageUtilization float64
+	GCMovedSubpages int64
+
+	// Fig. 12.
+	GCScanNS        int64
+	GCBlocksScanned int64
+
+	// Fig. 11.
+	MappingBytes      int64
+	MappingNormalized float64
+
+	HostWritesToMLC                  int64
+	SubpageReadsSLC, SubpageReadsMLC int64
+
+	// SLCWearMin/Max bound the per-block erase counts of the SLC region at
+	// run end: a tight band confirms the static wear levelling of Table 2.
+	SLCWearMin, SLCWearMax int
+}
+
+// SLCWriteShare returns the fraction of page programs completed in
+// SLC-mode blocks (Fig. 6's headline ratio).
+func (r *Result) SLCWriteShare() float64 {
+	total := r.SLCPrograms + r.MLCPrograms
+	if total == 0 {
+		return 0
+	}
+	return float64(r.SLCPrograms) / float64(total)
+}
+
+// LevelShare returns the fraction of SLC programs that landed in the given
+// level's blocks (Fig. 7).
+func (r *Result) LevelShare(l flash.BlockLevel) float64 {
+	var slc int64
+	for lv := flash.LevelWork; lv <= flash.LevelHot; lv++ {
+		slc += r.LevelPrograms[lv]
+	}
+	if slc == 0 {
+		return 0
+	}
+	return float64(r.LevelPrograms[l]) / float64(slc)
+}

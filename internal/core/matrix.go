@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"ipusim/internal/flash"
+	"ipusim/internal/trace"
+)
+
+// MatrixSpec describes a sweep over traces, schemes and P/E baselines —
+// the full evaluation of the paper is one MatrixSpec.
+type MatrixSpec struct {
+	// Traces names the workload profiles to synthesise (trace.Profiles
+	// keys). Empty means all six, in Table 3 order.
+	Traces []string
+	// Schemes lists the FTLs to compare. Empty means all three.
+	Schemes []string
+	// PEBaselines lists the device use stages (Figs. 13–14). Empty means
+	// the Table 2 default only.
+	PEBaselines []int
+	// Scale shrinks trace request counts; (0,1], default 0.05.
+	Scale float64
+	// Seed drives trace synthesis; runs are deterministic per seed.
+	Seed int64
+	// Flash is the geometry; zero value means flash.DefaultConfig.
+	Flash *flash.Config
+	// Workers bounds concurrent runs; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// normalize fills defaults.
+func (m *MatrixSpec) normalize() {
+	if len(m.Traces) == 0 {
+		m.Traces = trace.ProfileNames()
+	}
+	if len(m.Schemes) == 0 {
+		m.Schemes = append([]string(nil), SchemeNames...)
+	}
+	if len(m.PEBaselines) == 0 {
+		m.PEBaselines = []int{0} // sentinel: use config default
+	}
+	if m.Scale == 0 {
+		m.Scale = 0.05
+	}
+	if m.Seed == 0 {
+		m.Seed = 42
+	}
+	if m.Workers <= 0 {
+		m.Workers = runtime.GOMAXPROCS(0)
+	}
+}
+
+// RunMatrix executes every (trace, scheme, P/E) combination of the spec,
+// fanning the independent simulations across a bounded worker pool. Each
+// trace is synthesised once per P/E level and shared read-only by the
+// scheme runs. Results come back sorted by (trace order, P/E, scheme
+// order), independent of scheduling.
+func RunMatrix(spec MatrixSpec) ([]*Result, error) {
+	spec.normalize()
+
+	type job struct {
+		traceIdx, peIdx, schemeIdx int
+		tr                         *trace.Trace
+		pe                         int
+	}
+
+	// Synthesise traces up front (one per name; P/E does not change the
+	// workload, only the device age).
+	traces := make([]*trace.Trace, len(spec.Traces))
+	for i, name := range spec.Traces {
+		p, ok := trace.Profiles[name]
+		if !ok {
+			return nil, fmt.Errorf("core: unknown trace profile %q", name)
+		}
+		tr, err := trace.Generate(p, spec.Seed, spec.Scale)
+		if err != nil {
+			return nil, err
+		}
+		traces[i] = tr
+	}
+
+	var jobs []job
+	for ti := range spec.Traces {
+		for pi, pe := range spec.PEBaselines {
+			for si := range spec.Schemes {
+				jobs = append(jobs, job{traceIdx: ti, peIdx: pi, schemeIdx: si, tr: traces[ti], pe: pe})
+			}
+		}
+	}
+
+	results := make([]*Result, len(jobs))
+	errs := make([]error, len(jobs))
+	sem := make(chan struct{}, spec.Workers)
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, j job) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			cfg := DefaultConfig()
+			if spec.Flash != nil {
+				cfg.Flash = *spec.Flash
+			}
+			if j.pe > 0 {
+				cfg.Flash.PEBaseline = j.pe
+			}
+			cfg.Scheme = spec.Schemes[j.schemeIdx]
+			sim, err := New(cfg)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			res, err := sim.Run(j.tr)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			res.PEBaseline = cfg.Flash.PEBaseline
+			results[i] = res
+		}(i, j)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// jobs were generated in deterministic (trace, P/E, scheme) order and
+	// results are indexed by job, so the slice is already deterministic.
+	return results, nil
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"ipusim/internal/flash"
+	"ipusim/internal/metrics"
+)
+
+// SensitivityParams lists the device parameters RunSensitivity can sweep,
+// with the default sweep values for each.
+var SensitivityParams = map[string][]float64{
+	// slcratio sweeps the SLC-mode cache fraction around Table 2's 5%.
+	"slcratio": {0.025, 0.05, 0.10},
+	// gcthreshold sweeps the free-page fraction that triggers SLC GC.
+	"gcthreshold": {0.025, 0.05, 0.10},
+	// backlogcap sweeps the per-chip background-GC budget in milliseconds.
+	"backlogcap": {5, 20, 80},
+	// planes sweeps the planes-per-die parallelism below each chip.
+	"planes": {1, 2, 4},
+}
+
+// applySensitivity returns a copy of base with the parameter applied.
+func applySensitivity(base flash.Config, param string, value float64) (flash.Config, error) {
+	fc := base
+	switch param {
+	case "slcratio":
+		fc.SLCRatio = value
+	case "gcthreshold":
+		fc.GCThresholdFraction = value
+	case "backlogcap":
+		fc.GCBacklogCap = time.Duration(value * float64(time.Millisecond))
+	case "planes":
+		fc.PlanesPerDie = int(value)
+	default:
+		return fc, fmt.Errorf("core: unknown sensitivity parameter %q (have slcratio, gcthreshold, backlogcap)", param)
+	}
+	// Keep the logical space consistent with the (possibly changed) MLC size.
+	fc.LogicalSubpages = fc.MLCSubpages() * 3 / 4
+	if err := fc.Validate(); err != nil {
+		return fc, fmt.Errorf("core: sensitivity %s=%v: %w", param, value, err)
+	}
+	return fc, nil
+}
+
+// RunSensitivity sweeps one device parameter across its values, running
+// the given traces with the Baseline and IPU schemes at each point, and
+// renders a comparison table. The spec's Flash field supplies the base
+// configuration (nil means the scaled default with preconditioning).
+func RunSensitivity(param string, spec MatrixSpec) (*metrics.Table, error) {
+	values, ok := SensitivityParams[param]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown sensitivity parameter %q", param)
+	}
+	base := flash.DefaultConfig()
+	base.PreFillMLC = true
+	if spec.Flash != nil {
+		base = *spec.Flash
+	}
+	if len(spec.Schemes) == 0 {
+		spec.Schemes = []string{"Baseline", "IPU"}
+	}
+
+	t := metrics.NewTable(fmt.Sprintf("Sensitivity: %s", param),
+		"Trace", "Scheme", param, "overall", "readBER", "SLCerases", "hostToMLC")
+	for _, v := range values {
+		fc, err := applySensitivity(base, param, v)
+		if err != nil {
+			return nil, err
+		}
+		pointSpec := spec
+		pointSpec.Flash = &fc
+		results, err := RunMatrix(pointSpec)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range results {
+			t.AddRow(r.Trace, r.Scheme, fmt.Sprintf("%v", v),
+				metrics.FormatDuration(r.AvgLatency),
+				metrics.FormatSci(r.ReadErrorRate),
+				fmt.Sprint(r.SLCErases),
+				fmt.Sprint(r.HostWritesToMLC))
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,64 @@
+package flash
+
+import "fmt"
+
+// LSN is a logical subpage number: the 4 KiB-granular logical address space
+// exported by the device. InvalidLSN marks an unused slot.
+type LSN int32
+
+// InvalidLSN marks a slot that holds no logical data.
+const InvalidLSN LSN = -1
+
+// Frame returns the 16 KiB logical page frame an LSN belongs to, given the
+// number of subpage slots per page.
+func (l LSN) Frame(slotsPerPage int) int32 { return int32(l) / int32(slotsPerPage) }
+
+// PPA is a packed physical subpage address: block, page within block, and
+// slot within page. The zero value of the packed form is a valid address,
+// so the "unmapped" sentinel is an explicit bit pattern.
+type PPA uint32
+
+const (
+	ppaSlotBits  = 3
+	ppaPageBits  = 9
+	ppaBlockBits = 20
+
+	ppaSlotMask  = 1<<ppaSlotBits - 1
+	ppaPageMask  = 1<<ppaPageBits - 1
+	ppaBlockMask = 1<<ppaBlockBits - 1
+
+	// UnmappedPPA marks an LSN with no physical location.
+	UnmappedPPA PPA = 1<<32 - 1
+)
+
+// NewPPA packs a physical subpage address. It panics if a component is out
+// of range, which indicates a geometry bug rather than a runtime condition.
+func NewPPA(block, page, slot int) PPA {
+	if uint(block) > ppaBlockMask || uint(page) > ppaPageMask || uint(slot) > ppaSlotMask {
+		panic(fmt.Sprintf("flash: PPA out of range: block=%d page=%d slot=%d", block, page, slot))
+	}
+	return PPA(block)<<(ppaPageBits+ppaSlotBits) | PPA(page)<<ppaSlotBits | PPA(slot)
+}
+
+// Block returns the block component.
+func (p PPA) Block() int { return int(p>>(ppaPageBits+ppaSlotBits)) & ppaBlockMask }
+
+// Page returns the page-within-block component.
+func (p PPA) Page() int { return int(p>>ppaSlotBits) & ppaPageMask }
+
+// Slot returns the slot-within-page component.
+func (p PPA) Slot() int { return int(p) & ppaSlotMask }
+
+// Mapped reports whether the address points at a physical location.
+func (p PPA) Mapped() bool { return p != UnmappedPPA }
+
+// PageAddr returns the address with the slot bits cleared, identifying the
+// physical page. Useful as a map key for "same page" checks.
+func (p PPA) PageAddr() PPA { return p &^ ppaSlotMask }
+
+func (p PPA) String() string {
+	if !p.Mapped() {
+		return "PPA(unmapped)"
+	}
+	return fmt.Sprintf("PPA(b%d p%d s%d)", p.Block(), p.Page(), p.Slot())
+}

@@ -1,0 +1,87 @@
+package flash
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPPARoundTrip(t *testing.T) {
+	f := func(block uint32, page uint16, slot uint8) bool {
+		b := int(block % (ppaBlockMask + 1))
+		p := int(page % (ppaPageMask + 1))
+		s := int(slot % (ppaSlotMask + 1))
+		ppa := NewPPA(b, p, s)
+		return ppa.Block() == b && ppa.Page() == p && ppa.Slot() == s && ppa.Mapped()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPPAOutOfRangePanics(t *testing.T) {
+	cases := []struct{ b, p, s int }{
+		{ppaBlockMask + 1, 0, 0},
+		{0, ppaPageMask + 1, 0},
+		{0, 0, ppaSlotMask + 1},
+		{-1, 0, 0},
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewPPA(%d,%d,%d) did not panic", c.b, c.p, c.s)
+				}
+			}()
+			NewPPA(c.b, c.p, c.s)
+		}()
+	}
+}
+
+func TestUnmappedPPA(t *testing.T) {
+	if UnmappedPPA.Mapped() {
+		t.Error("UnmappedPPA reports mapped")
+	}
+	if UnmappedPPA.String() != "PPA(unmapped)" {
+		t.Errorf("unexpected string %q", UnmappedPPA.String())
+	}
+	if NewPPA(0, 0, 0).Mapped() == false {
+		t.Error("zero PPA must be a valid mapped address")
+	}
+}
+
+func TestPPAPageAddr(t *testing.T) {
+	a := NewPPA(7, 13, 2)
+	b := NewPPA(7, 13, 3)
+	c := NewPPA(7, 14, 2)
+	if a.PageAddr() != b.PageAddr() {
+		t.Error("same page, different slots must share PageAddr")
+	}
+	if a.PageAddr() == c.PageAddr() {
+		t.Error("different pages must not share PageAddr")
+	}
+	if a.PageAddr().Slot() != 0 {
+		t.Error("PageAddr must clear the slot bits")
+	}
+}
+
+func TestLSNFrame(t *testing.T) {
+	cases := []struct {
+		lsn   LSN
+		slots int
+		want  int32
+	}{
+		{0, 4, 0}, {3, 4, 0}, {4, 4, 1}, {7, 4, 1}, {8, 4, 2}, {100, 4, 25},
+	}
+	for _, c := range cases {
+		if got := c.lsn.Frame(c.slots); got != c.want {
+			t.Errorf("LSN(%d).Frame(%d) = %d, want %d", c.lsn, c.slots, got, c.want)
+		}
+	}
+}
+
+func TestPPAString(t *testing.T) {
+	got := NewPPA(3, 5, 1).String()
+	if got != "PPA(b3 p5 s1)" {
+		t.Errorf("String = %q", got)
+	}
+}

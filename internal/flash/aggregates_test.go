@@ -1,0 +1,79 @@
+package flash
+
+import "testing"
+
+// The JCount/JSumWT aggregates feed the ISR GC policy (Eq. 2); these tests
+// pin their maintenance rules.
+
+func TestJAggregatesFirstProgram(t *testing.T) {
+	a := newTestArray(t)
+	blk := a.SLCBlockIDs()[0]
+	mustProgram(t, a, blk, 0, []SlotWrite{{0, 1}, {1, 2}}, 100)
+	b := a.Block(blk)
+	if b.JCount != 2 || b.JSumWT != 200 {
+		t.Errorf("after first program: J=(%d,%d), want (2,200)", b.JCount, b.JSumWT)
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJAggregatesPartialProgramRemovesPage(t *testing.T) {
+	a := newTestArray(t)
+	blk := a.SLCBlockIDs()[0]
+	mustProgram(t, a, blk, 0, []SlotWrite{{0, 1}, {1, 2}}, 100)
+	// Partial program: the page becomes "updated"; its old valid subpages
+	// leave J, and the newly written subpage never joins.
+	mustProgram(t, a, blk, 0, []SlotWrite{{2, 3}}, 200)
+	b := a.Block(blk)
+	if b.JCount != 0 || b.JSumWT != 0 {
+		t.Errorf("after partial program: J=(%d,%d), want (0,0)", b.JCount, b.JSumWT)
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJAggregatesInvalidate(t *testing.T) {
+	a := newTestArray(t)
+	blk := a.SLCBlockIDs()[0]
+	mustProgram(t, a, blk, 0, []SlotWrite{{0, 1}, {1, 2}}, 100)
+	if err := a.Invalidate(NewPPA(blk, 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	b := a.Block(blk)
+	if b.JCount != 1 || b.JSumWT != 100 {
+		t.Errorf("after invalidate: J=(%d,%d), want (1,100)", b.JCount, b.JSumWT)
+	}
+	// Invalidating inside an updated page must not touch J.
+	mustProgram(t, a, blk, 1, []SlotWrite{{0, 5}}, 300)
+	mustProgram(t, a, blk, 1, []SlotWrite{{1, 6}}, 400) // page updated; J unchanged by page 1
+	if b.JCount != 1 {
+		t.Fatalf("updated page leaked into J: %d", b.JCount)
+	}
+	if err := a.Invalidate(NewPPA(blk, 1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if b.JCount != 1 || b.JSumWT != 100 {
+		t.Errorf("invalidate in updated page changed J: (%d,%d)", b.JCount, b.JSumWT)
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJAggregatesErase(t *testing.T) {
+	a := newTestArray(t)
+	blk := a.SLCBlockIDs()[0]
+	mustProgram(t, a, blk, 0, []SlotWrite{{0, 1}}, 100)
+	if err := a.Invalidate(NewPPA(blk, 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Erase(blk); err != nil {
+		t.Fatal(err)
+	}
+	b := a.Block(blk)
+	if b.JCount != 0 || b.JSumWT != 0 {
+		t.Errorf("after erase: J=(%d,%d)", b.JCount, b.JSumWT)
+	}
+}

@@ -1,0 +1,344 @@
+package flash
+
+import (
+	"fmt"
+)
+
+// SlotWrite names one subpage slot to program and the logical data to place
+// in it.
+type SlotWrite struct {
+	Slot int
+	LSN  LSN
+}
+
+// Array is the physical flash array: every block of the device plus the
+// geometry needed to address it. All mutation goes through Array methods so
+// the cached per-block counters stay consistent.
+type Array struct {
+	cfg    *Config
+	blocks []Block
+
+	// slcIDs and mlcIDs partition block IDs by mode. SLC blocks occupy the
+	// low IDs, which keeps them striped across all chips.
+	slcIDs []int
+	mlcIDs []int
+
+	// Device-wide counters.
+
+	// SLCErases / MLCErases count erase operations per region (Fig. 10).
+	SLCErases, MLCErases int64
+	// SLCPrograms / MLCPrograms count page program operations per region
+	// (Fig. 6 distinguishes writes completed in SLC vs MLC blocks).
+	SLCPrograms, MLCPrograms int64
+	// PartialPrograms counts partial (second or later) program operations.
+	PartialPrograms int64
+}
+
+// NewArray builds the array described by cfg. cfg must validate.
+func NewArray(cfg *Config) (*Array, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	a := &Array{cfg: cfg, blocks: make([]Block, cfg.Blocks)}
+	slots := cfg.SlotsPerPage()
+	nSLC := cfg.SLCBlocks()
+	for id := range a.blocks {
+		b := &a.blocks[id]
+		b.ID = id
+		pages := cfg.MLCPagesPerBlock
+		b.Mode = ModeMLC
+		b.Level = LevelHighDensity
+		if id < nSLC {
+			pages = cfg.SLCPagesPerBlock
+			b.Mode = ModeSLC
+			b.Level = LevelWork
+			a.slcIDs = append(a.slcIDs, id)
+		} else {
+			a.mlcIDs = append(a.mlcIDs, id)
+		}
+		b.Pages = make([]Page, pages)
+		// One backing array per block keeps subpages contiguous.
+		backing := make([]Subpage, pages*slots)
+		for i := range backing {
+			backing[i].LSN = InvalidLSN
+		}
+		for p := range b.Pages {
+			b.Pages[p].Slots = backing[p*slots : (p+1)*slots : (p+1)*slots]
+		}
+	}
+	return a, nil
+}
+
+// Config returns the geometry the array was built with.
+func (a *Array) Config() *Config { return a.cfg }
+
+// Block returns the block with the given ID.
+func (a *Array) Block(id int) *Block { return &a.blocks[id] }
+
+// NumBlocks returns the total block count.
+func (a *Array) NumBlocks() int { return len(a.blocks) }
+
+// SLCBlockIDs returns the IDs of the SLC-mode cache blocks.
+func (a *Array) SLCBlockIDs() []int { return a.slcIDs }
+
+// MLCBlockIDs returns the IDs of the native high-density blocks.
+func (a *Array) MLCBlockIDs() []int { return a.mlcIDs }
+
+// ChipOf returns the parallel unit (plane) a block is attached to. Blocks
+// are striped round-robin so consecutive block IDs land on different units.
+func (a *Array) ChipOf(blockID int) int { return a.cfg.UnitOf(blockID) }
+
+// ChannelOf returns the channel a block's unit is attached to.
+func (a *Array) ChannelOf(blockID int) int { return a.cfg.ChannelOfUnit(a.ChipOf(blockID)) }
+
+// Subpage returns the slot at a physical address.
+func (a *Array) Subpage(p PPA) *Subpage {
+	return &a.blocks[p.Block()].Pages[p.Page()].Slots[p.Slot()]
+}
+
+// PageOf returns the page at a physical address.
+func (a *Array) PageOf(p PPA) *Page {
+	return &a.blocks[p.Block()].Pages[p.Page()]
+}
+
+// ProgramPage programs the named slots of one physical page at simulation
+// time now. The operation is conventional when it is the first program of
+// the page since erase, and partial otherwise. Partial operations disturb
+// the valid slots of the same page (in-page disturb) and of the physically
+// adjacent pages (neighbouring-page disturb), exactly the two effects of
+// Fig. 1 of the paper.
+//
+// ProgramPage returns whether the operation was partial so callers can
+// account latency and error statistics. It rejects programs that violate
+// the flash constraints: writing a non-free slot, exceeding the per-page
+// program budget of an SLC page, or re-programming an MLC page.
+func (a *Array) ProgramPage(blockID, pageIdx int, writes []SlotWrite, now int64) (partial bool, err error) {
+	if len(writes) == 0 {
+		return false, fmt.Errorf("flash: empty program of block %d page %d", blockID, pageIdx)
+	}
+	b := &a.blocks[blockID]
+	if pageIdx < 0 || pageIdx >= len(b.Pages) {
+		return false, fmt.Errorf("flash: page %d out of range in block %d", pageIdx, blockID)
+	}
+	pg := &b.Pages[pageIdx]
+	partial = pg.ProgramCount > 0
+	if partial {
+		if b.Mode != ModeSLC {
+			return false, fmt.Errorf("flash: partial program of MLC block %d", blockID)
+		}
+		if int(pg.ProgramCount) >= a.cfg.MaxProgramsPerSLCPage {
+			return false, fmt.Errorf("flash: block %d page %d exceeded program budget (%d)",
+				blockID, pageIdx, a.cfg.MaxProgramsPerSLCPage)
+		}
+	}
+	written := 0
+	for _, w := range writes {
+		if w.Slot < 0 || w.Slot >= len(pg.Slots) {
+			return false, fmt.Errorf("flash: slot %d out of range", w.Slot)
+		}
+		s := &pg.Slots[w.Slot]
+		if s.State != SubFree {
+			return false, fmt.Errorf("flash: programming %s slot b%d p%d s%d", s.State, blockID, pageIdx, w.Slot)
+		}
+		*s = Subpage{LSN: w.LSN, WriteTime: now, State: SubValid, Partial: partial}
+		written++
+	}
+	// Maintain the Eq. 2 aggregates: a first program adds its subpages to
+	// J; the first partial program marks the page updated, removing its
+	// previously written valid subpages (the new versions of updated data
+	// are hot, not members of J).
+	switch pg.ProgramCount {
+	case 0:
+		b.JCount += written
+		b.JSumWT += now * int64(written)
+	case 1:
+		justWritten := 0
+		for _, w := range writes {
+			justWritten |= 1 << w.Slot
+		}
+		for i := range pg.Slots {
+			if justWritten&(1<<i) == 0 && pg.Slots[i].State == SubValid {
+				b.JCount--
+				b.JSumWT -= pg.Slots[i].WriteTime
+			}
+		}
+	}
+	pg.ProgramCount++
+	b.ProgramOps++
+	b.ValidSub += written
+	if b.Mode == ModeSLC {
+		a.SLCPrograms++
+	} else {
+		a.MLCPrograms++
+	}
+	if partial {
+		b.PartialOps++
+		a.PartialPrograms++
+		a.applyDisturb(b, pageIdx, writes)
+	}
+	// Keep the sequential append pointer ahead of any programmed page.
+	if pageIdx >= b.NextFreePage {
+		b.NextFreePage = pageIdx + 1
+	}
+	return partial, nil
+}
+
+// applyDisturb records the program disturb of one partial operation: valid
+// slots sharing the page (that were not just written) and valid slots of the
+// adjacent word lines.
+func (a *Array) applyDisturb(b *Block, pageIdx int, writes []SlotWrite) {
+	justWritten := 0
+	for _, w := range writes {
+		justWritten |= 1 << w.Slot
+	}
+	pg := &b.Pages[pageIdx]
+	for i := range pg.Slots {
+		if justWritten&(1<<i) == 0 && pg.Slots[i].State == SubValid {
+			pg.Slots[i].InPageDisturb++
+		}
+	}
+	for _, n := range [2]int{pageIdx - 1, pageIdx + 1} {
+		if n < 0 || n >= len(b.Pages) {
+			continue
+		}
+		np := &b.Pages[n].Slots
+		for i := range *np {
+			if (*np)[i].State == SubValid {
+				(*np)[i].NeighborDisturb++
+			}
+		}
+	}
+}
+
+// MarkDead declares the named free slots of a page unusable until the next
+// erase: the fragmentation loss of a whole-page program that carries less
+// than a page of data.
+func (a *Array) MarkDead(blockID, pageIdx int, slots ...int) error {
+	b := &a.blocks[blockID]
+	pg := &b.Pages[pageIdx]
+	for _, s := range slots {
+		if pg.Slots[s].State != SubFree {
+			return fmt.Errorf("flash: MarkDead on %s slot b%d p%d s%d", pg.Slots[s].State, blockID, pageIdx, s)
+		}
+		pg.Slots[s].State = SubDead
+		b.DeadSub++
+	}
+	return nil
+}
+
+// Invalidate marks the subpage at ppa obsolete. Invalidating an already
+// invalid slot is a bookkeeping bug and returns an error.
+func (a *Array) Invalidate(ppa PPA) error {
+	b := &a.blocks[ppa.Block()]
+	pg := &b.Pages[ppa.Page()]
+	s := &pg.Slots[ppa.Slot()]
+	if s.State != SubValid {
+		return fmt.Errorf("flash: invalidating %s slot %v", s.State, ppa)
+	}
+	s.State = SubInvalid
+	b.ValidSub--
+	b.InvalidSub++
+	if pg.ProgramCount <= 1 {
+		b.JCount--
+		b.JSumWT -= s.WriteTime
+	}
+	return nil
+}
+
+// Erase wipes a block, increments its wear, and resets every slot to free.
+// Erasing a block that still holds valid data is a policy bug.
+func (a *Array) Erase(blockID int) error {
+	b := &a.blocks[blockID]
+	if b.ValidSub != 0 {
+		return fmt.Errorf("flash: erasing block %d with %d valid subpages", blockID, b.ValidSub)
+	}
+	for p := range b.Pages {
+		pg := &b.Pages[p]
+		pg.ProgramCount = 0
+		for i := range pg.Slots {
+			pg.Slots[i] = Subpage{LSN: InvalidLSN}
+		}
+	}
+	b.EraseCount++
+	b.NextFreePage = 0
+	b.InvalidSub = 0
+	b.DeadSub = 0
+	b.ProgramOps = 0
+	b.PartialOps = 0
+	b.JCount = 0
+	b.JSumWT = 0
+	if b.Mode == ModeSLC {
+		a.SLCErases++
+	} else {
+		a.MLCErases++
+	}
+	return nil
+}
+
+// CheckInvariants walks the array verifying that cached counters match slot
+// states. It is O(device size) and intended for tests.
+func (a *Array) CheckInvariants() error {
+	for id := range a.blocks {
+		b := &a.blocks[id]
+		var valid, invalid, dead int
+		var jCount int
+		var jSum int64
+		for p := range b.Pages {
+			if pg := &b.Pages[p]; pg.ProgramCount <= 1 {
+				for i := range pg.Slots {
+					if pg.Slots[i].State == SubValid {
+						jCount++
+						jSum += pg.Slots[i].WriteTime
+					}
+				}
+			}
+		}
+		if jCount != b.JCount || jSum != b.JSumWT {
+			return fmt.Errorf("block %d J aggregates: have (%d,%d) want (%d,%d)",
+				id, b.JCount, b.JSumWT, jCount, jSum)
+		}
+		for p := range b.Pages {
+			pg := &b.Pages[p]
+			anyUsed := false
+			for i := range pg.Slots {
+				switch pg.Slots[i].State {
+				case SubValid:
+					valid++
+					anyUsed = true
+				case SubInvalid:
+					invalid++
+					anyUsed = true
+				case SubDead:
+					dead++
+					anyUsed = true
+				case SubFree:
+					if pg.Slots[i].LSN != InvalidLSN {
+						return fmt.Errorf("block %d page %d slot %d: free slot with LSN %d", id, p, i, pg.Slots[i].LSN)
+					}
+				}
+			}
+			if anyUsed && p >= b.NextFreePage {
+				return fmt.Errorf("block %d page %d used but NextFreePage=%d", id, p, b.NextFreePage)
+			}
+			if anyUsed && pg.ProgramCount == 0 && pg.Slots[0].State != SubDead {
+				// A page can be all-dead without programs only if every slot
+				// was skipped, which MarkDead permits.
+				allDead := true
+				for i := range pg.Slots {
+					if pg.Slots[i].State != SubDead {
+						allDead = false
+						break
+					}
+				}
+				if !allDead {
+					return fmt.Errorf("block %d page %d has data but ProgramCount=0", id, p)
+				}
+			}
+		}
+		if valid != b.ValidSub || invalid != b.InvalidSub || dead != b.DeadSub {
+			return fmt.Errorf("block %d counters: have (v%d,i%d,d%d) want (v%d,i%d,d%d)",
+				id, b.ValidSub, b.InvalidSub, b.DeadSub, valid, invalid, dead)
+		}
+	}
+	return nil
+}

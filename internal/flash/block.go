@@ -1,0 +1,141 @@
+package flash
+
+import "fmt"
+
+// SubpageState is the lifecycle state of a 4 KiB subpage slot.
+type SubpageState uint8
+
+const (
+	// SubFree has never been programmed since the last erase.
+	SubFree SubpageState = iota
+	// SubValid holds the current version of some logical subpage.
+	SubValid
+	// SubInvalid holds an obsolete version.
+	SubInvalid
+	// SubDead can never be programmed before the next erase: the slot was
+	// skipped by a whole-page program (Baseline fragmentation) or the page
+	// exhausted its partial-programming budget.
+	SubDead
+)
+
+func (s SubpageState) String() string {
+	switch s {
+	case SubFree:
+		return "free"
+	case SubValid:
+		return "valid"
+	case SubInvalid:
+		return "invalid"
+	case SubDead:
+		return "dead"
+	default:
+		return fmt.Sprintf("SubpageState(%d)", uint8(s))
+	}
+}
+
+// Subpage is the unit of partial programming and of mapping bookkeeping.
+type Subpage struct {
+	// LSN is the logical subpage stored here, or InvalidLSN.
+	LSN LSN
+	// WriteTime is the simulation time (ns) at which the slot was
+	// programmed. Used by the ISR garbage-collection metric (Eq. 2).
+	WriteTime int64
+	// State is the slot lifecycle state.
+	State SubpageState
+	// Partial records that the slot was written by a partial-programming
+	// operation (any program after the first on its page), which carries a
+	// higher raw bit error rate (Fig. 2).
+	Partial bool
+	// InPageDisturb counts partial-programming operations applied to other
+	// slots of the same page while this slot held valid data.
+	InPageDisturb uint16
+	// NeighborDisturb counts partial-programming operations applied to
+	// physically adjacent pages while this slot held valid data.
+	NeighborDisturb uint16
+}
+
+// Page is a physical 16 KiB page: a run of subpage slots plus a program
+// counter that enforces the partial-programming limit.
+type Page struct {
+	// ProgramCount is the number of program operations applied since the
+	// last erase. Operations beyond the first are partial programs.
+	ProgramCount uint8
+	// Slots holds SlotsPerPage subpages.
+	Slots []Subpage
+}
+
+// FreeSlots returns the number of still-programmable slots.
+func (p *Page) FreeSlots() int {
+	n := 0
+	for i := range p.Slots {
+		if p.Slots[i].State == SubFree {
+			n++
+		}
+	}
+	return n
+}
+
+// Block is a physical erase block with cached validity counters.
+type Block struct {
+	// ID is the global block index.
+	ID int
+	// Mode is fixed at array construction: SLC cache or MLC native.
+	Mode Mode
+	// Level is the IPU hot/cold level. MLC blocks stay at LevelHighDensity;
+	// SLC blocks are assigned Work/Monitor/Hot by the scheme.
+	Level BlockLevel
+	// EraseCount counts erases performed by this simulation. Effective
+	// wear is Config.PEBaseline + EraseCount.
+	EraseCount int
+	// NextFreePage is the append pointer for sequential page allocation.
+	// Pages below it have been programmed at least once.
+	NextFreePage int
+	// Pages holds the physical pages.
+	Pages []Page
+
+	// Cached counters, maintained by Array mutators.
+
+	// ValidSub / InvalidSub / DeadSub count slots in each non-free state.
+	ValidSub, InvalidSub, DeadSub int
+	// ProgramOps counts program operations since the last erase.
+	ProgramOps int
+	// PartialOps counts partial (second and later) program operations
+	// since the last erase.
+	PartialOps int
+
+	// JCount and JSumWT aggregate the valid subpages of never-updated
+	// pages (program count <= 1) — the index set J of the paper's Eq. 2.
+	// JCount is their number and JSumWT the sum of their write times, so
+	// GC victim selection computes the coldness weight IS' from per-block
+	// aggregates in O(1) instead of rescanning every subpage. Maintained
+	// by Array.ProgramPage, Array.Invalidate and Array.Erase.
+	JCount int
+	JSumWT int64
+}
+
+// TotalSlots returns the number of subpage slots in the block.
+func (b *Block) TotalSlots() int {
+	if len(b.Pages) == 0 {
+		return 0
+	}
+	return len(b.Pages) * len(b.Pages[0].Slots)
+}
+
+// UsedSlots returns the number of slots ever programmed since the last
+// erase (valid + invalid). Dead slots were skipped, not programmed.
+func (b *Block) UsedSlots() int { return b.ValidSub + b.InvalidSub }
+
+// FreePages returns the number of never-programmed pages remaining.
+func (b *Block) FreePages() int { return len(b.Pages) - b.NextFreePage }
+
+// Full reports whether sequential allocation has consumed every page.
+func (b *Block) Full() bool { return b.NextFreePage >= len(b.Pages) }
+
+// Erased reports whether the block is entirely free.
+func (b *Block) Erased() bool {
+	return b.NextFreePage == 0 && b.ValidSub == 0 && b.InvalidSub == 0 && b.DeadSub == 0
+}
+
+// PE returns the effective program/erase wear of the block given the
+// device-wide baseline.
+func (b *Block) PE(baseline int) int { return baseline + b.EraseCount }

@@ -1,0 +1,120 @@
+package ftl
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ipusim/internal/flash"
+)
+
+func TestMapBasics(t *testing.T) {
+	m := NewMap(100)
+	if m.Len() != 100 || m.Mapped() != 0 {
+		t.Fatalf("fresh map: len=%d mapped=%d", m.Len(), m.Mapped())
+	}
+	for i := 0; i < 100; i++ {
+		if m.Get(flash.LSN(i)).Mapped() {
+			t.Fatalf("LSN %d mapped in fresh map", i)
+		}
+	}
+	p := flash.NewPPA(3, 7, 1)
+	m.Set(5, p)
+	if got := m.Get(5); got != p {
+		t.Errorf("Get = %v, want %v", got, p)
+	}
+	if m.Mapped() != 1 {
+		t.Errorf("Mapped = %d", m.Mapped())
+	}
+	// Remap does not double-count.
+	m.Set(5, flash.NewPPA(4, 0, 0))
+	if m.Mapped() != 1 {
+		t.Errorf("remap changed count: %d", m.Mapped())
+	}
+	m.Unmap(5)
+	if m.Mapped() != 0 || m.Get(5).Mapped() {
+		t.Error("Unmap failed")
+	}
+	// Unmapping twice is harmless.
+	m.Unmap(5)
+	if m.Mapped() != 0 {
+		t.Error("double unmap corrupted count")
+	}
+}
+
+func TestMapSetRejectsUnmappedPPA(t *testing.T) {
+	m := NewMap(10)
+	defer func() {
+		if recover() == nil {
+			t.Error("Set with UnmappedPPA must panic")
+		}
+	}()
+	m.Set(0, flash.UnmappedPPA)
+}
+
+func TestMapMappedCountInvariant(t *testing.T) {
+	f := func(ops []uint16) bool {
+		m := NewMap(64)
+		for _, op := range ops {
+			lsn := flash.LSN(op % 64)
+			if op%3 == 0 {
+				m.Unmap(lsn)
+			} else {
+				m.Set(lsn, flash.NewPPA(int(op%100), int(op%8), int(op%4)))
+			}
+		}
+		count := 0
+		for i := 0; i < 64; i++ {
+			if m.Get(flash.LSN(i)).Mapped() {
+				count++
+			}
+		}
+		return count == m.Mapped()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemoryModelBaseline(t *testing.T) {
+	cfg := flash.DefaultConfig()
+	mm := NewMemoryModel(&cfg)
+	frames := int64(cfg.LogicalSubpages / 4)
+	if got := mm.BaselineBytes(); got != frames*PageEntryBytes {
+		t.Errorf("BaselineBytes = %d, want %d", got, frames*PageEntryBytes)
+	}
+	if mm.Normalized(mm.BaselineBytes()) != 1.0 {
+		t.Error("Baseline must normalise to 1.0")
+	}
+}
+
+// TestMemoryModelFig11Shape checks the orderings of Fig. 11: Baseline <
+// IPU (by around a percent) << MGA (by tens of percent) when both caches
+// run at full occupancy.
+func TestMemoryModelFig11Shape(t *testing.T) {
+	cfg := flash.DefaultConfig()
+	mm := NewMemoryModel(&cfg)
+	peakSubpages := int64(cfg.SLCSubpages())        // MGA: every SLC slot mapped
+	peakFrames := int64(cfg.SLCSubpages() / 4)      // IPU: every SLC page one frame
+	mga := mm.Normalized(mm.MGABytes(peakSubpages)) // expected well above 1.1
+	ipu := mm.Normalized(mm.IPUBytes(peakFrames))   // expected just above 1.0
+	if mga < 1.10 {
+		t.Errorf("MGA normalised size %.4f; expected a large overhead", mga)
+	}
+	if ipu < 1.0 || ipu > 1.10 {
+		t.Errorf("IPU normalised size %.4f; expected a small overhead", ipu)
+	}
+	if ipu >= mga {
+		t.Errorf("IPU (%.4f) must be cheaper than MGA (%.4f)", ipu, mga)
+	}
+}
+
+func TestMemoryModelMonotonicInOccupancy(t *testing.T) {
+	cfg := flash.DefaultConfig()
+	mm := NewMemoryModel(&cfg)
+	if mm.MGABytes(100) >= mm.MGABytes(1000) {
+		t.Error("MGA bytes must grow with occupancy")
+	}
+	if mm.IPUBytes(100) >= mm.IPUBytes(100000) {
+		t.Error("IPU bytes must grow with occupancy")
+	}
+}

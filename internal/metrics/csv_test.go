@@ -1,0 +1,42 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteCSV(t *testing.T) {
+	tab := NewTable("Fig 5: I/O response time", "trace", "latency")
+	tab.AddRow("ts0", "1.5us")
+	tab.AddRow("with,comma", `with"quote`)
+	var sb strings.Builder
+	if err := tab.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), sb.String())
+	}
+	if lines[0] != "trace,latency" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[2], `"with,comma"`) {
+		t.Errorf("comma not quoted: %q", lines[2])
+	}
+}
+
+func TestCSVName(t *testing.T) {
+	cases := []struct{ title, want string }{
+		{"Fig 5: I/O response time", "fig-5-i-o-response-time.csv"},
+		{"Table 1: size distribution of updated requests", "table-1-size-distribution-of-updated-requests.csv"},
+		{"", "table.csv"},
+		{"---", "table.csv"},
+		{"ABC def", "abc-def.csv"},
+	}
+	for _, c := range cases {
+		tab := NewTable(c.title)
+		if got := tab.CSVName(); got != c.want {
+			t.Errorf("CSVName(%q) = %q, want %q", c.title, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDistributionEmpty(t *testing.T) {
+	var s LatencySummary
+	if got := s.Distribution(); got != nil {
+		t.Errorf("empty distribution = %v", got)
+	}
+}
+
+func TestDistributionBucketsAndCDF(t *testing.T) {
+	var s LatencySummary
+	// Three observations in [64,128) ns (bit length 7) and one in
+	// [1024,2048) ns (bit length 11).
+	s.Record(100)
+	s.Record(70)
+	s.Record(127)
+	s.Record(1500)
+	d := s.Distribution()
+	if len(d) != 2 {
+		t.Fatalf("buckets = %d, want 2: %+v", len(d), d)
+	}
+	if d[0].Lo != 64 || d[0].Hi != 128 || d[0].Count != 3 {
+		t.Errorf("bucket 0: %+v", d[0])
+	}
+	if d[1].Lo != 1024 || d[1].Hi != 2048 || d[1].Count != 1 {
+		t.Errorf("bucket 1: %+v", d[1])
+	}
+	if d[0].CumFrac != 0.75 || d[1].CumFrac != 1.0 {
+		t.Errorf("CDF: %.3f, %.3f", d[0].CumFrac, d[1].CumFrac)
+	}
+}
+
+func TestDistributionAscendingAndComplete(t *testing.T) {
+	var s LatencySummary
+	for i := int64(1); i < 1_000_000; i *= 3 {
+		s.Record(i)
+	}
+	d := s.Distribution()
+	var total int64
+	prevHi := time.Duration(0)
+	prevCum := 0.0
+	for _, b := range d {
+		if b.Lo >= b.Hi {
+			t.Errorf("degenerate bucket %+v", b)
+		}
+		if b.Hi <= prevHi {
+			t.Error("buckets not ascending")
+		}
+		if b.CumFrac < prevCum {
+			t.Error("CDF not monotone")
+		}
+		prevHi = b.Hi
+		prevCum = b.CumFrac
+		total += b.Count
+	}
+	if total != s.Count {
+		t.Errorf("distribution covers %d of %d observations", total, s.Count)
+	}
+	if prevCum != 1.0 {
+		t.Errorf("final CDF = %f", prevCum)
+	}
+}
+
+func TestDistributionZeroBucket(t *testing.T) {
+	var s LatencySummary
+	s.Record(0)
+	d := s.Distribution()
+	if len(d) != 1 || d[0].Lo != 0 || d[0].Hi != 1 {
+		t.Errorf("zero observation distribution: %+v", d)
+	}
+}

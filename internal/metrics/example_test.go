@@ -1,0 +1,45 @@
+package metrics_test
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"ipusim/internal/metrics"
+)
+
+func ExampleLatencySummary() {
+	var s metrics.LatencySummary
+	for _, ns := range []int64{1000, 2000, 3000, 4000} {
+		s.Record(ns)
+	}
+	fmt.Println(s.Count, s.Mean(), s.Max)
+	// Output: 4 2.5µs 4000
+}
+
+func ExampleTable_Render() {
+	t := metrics.NewTable("Demo", "trace", "latency")
+	t.AddRow("ts0", metrics.FormatDuration(1500*time.Nanosecond))
+	_ = t.Render(os.Stdout)
+	// Output:
+	// == Demo ==
+	// trace  latency
+	// ---------------
+	// ts0    1.50us
+}
+
+func ExampleTable_WriteCSV() {
+	t := metrics.NewTable("Fig 5: demo", "trace", "latency")
+	t.AddRow("ts0", "1.50us")
+	fmt.Println(t.CSVName())
+	_ = t.WriteCSV(os.Stdout)
+	// Output:
+	// fig-5-demo.csv
+	// trace,latency
+	// ts0,1.50us
+}
+
+func ExampleFormatPct() {
+	fmt.Println(metrics.FormatPct(0.528))
+	// Output: 52.8%
+}

@@ -1,0 +1,97 @@
+package scheme
+
+import (
+	"testing"
+
+	"ipusim/internal/errmodel"
+)
+
+// populatedIPU returns an IPU device with a realistic mix of hot and cold
+// blocks for victim-selection microbenchmarks.
+func populatedIPU(b *testing.B) *IPU {
+	b.Helper()
+	cfg := tinyConfig()
+	em := errmodel.Default()
+	s, err := NewIPU(&cfg, &em)
+	if err != nil {
+		b.Fatal(err)
+	}
+	now := int64(0)
+	for i := 0; i < 2000; i++ {
+		now += 500_000
+		s.Write(now, int64(i%16)*8192, 8192)
+		s.Write(now, int64(1<<22)+int64(i)*8192, 8192)
+	}
+	return s
+}
+
+// BenchmarkGreedyVictim measures the conventional victim scan.
+func BenchmarkGreedyVictim(b *testing.B) {
+	s := populatedIPU(b)
+	d := s.Device()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if GreedyVictim(d, int64(i), d.isOpenSLC) < 0 {
+			b.Fatal("no victim")
+		}
+	}
+}
+
+// BenchmarkISRVictim measures the Eq. 1-2 scan — the Fig. 12 comparison
+// at microbenchmark granularity.
+func BenchmarkISRVictim(b *testing.B) {
+	s := populatedIPU(b)
+	d := s.Device()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ISRVictim(d, int64(i)+1_000_000_000, d.isOpenSLC) < 0 {
+			b.Fatal("no victim")
+		}
+	}
+}
+
+// BenchmarkHostWrite measures the full write path of each scheme.
+func BenchmarkHostWrite(b *testing.B) {
+	for _, name := range schemeNames {
+		b.Run(name, func(b *testing.B) {
+			cfg := tinyConfig()
+			em := errmodel.Default()
+			var s Scheme
+			var err error
+			switch name {
+			case "Baseline":
+				s, err = NewBaseline(&cfg, &em)
+			case "MGA":
+				s, err = NewMGA(&cfg, &em)
+			default:
+				s, err = NewIPU(&cfg, &em)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			now := int64(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				now += 500_000
+				s.Write(now, int64(i%4096)*8192, 8192)
+			}
+		})
+	}
+}
+
+// BenchmarkHostRead measures the read path including ECC cost evaluation.
+func BenchmarkHostRead(b *testing.B) {
+	cfg := tinyConfig()
+	cfg.PreFillMLC = true
+	em := errmodel.Default()
+	s, err := NewIPU(&cfg, &em)
+	if err != nil {
+		b.Fatal(err)
+	}
+	now := int64(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += 500_000
+		s.Read(now, int64(i%4096)*8192, 8192)
+	}
+}

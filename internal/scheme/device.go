@@ -1,0 +1,677 @@
+package scheme
+
+import (
+	"fmt"
+	"time"
+
+	"ipusim/internal/errmodel"
+	"ipusim/internal/flash"
+	"ipusim/internal/ftl"
+	"ipusim/internal/sim"
+)
+
+// Device bundles the flash array, timing engine, error model and logical
+// mapping with the allocators the schemes share: the SLC-cache block pools
+// (with per-level open blocks) and the MLC region (with its own greedy GC).
+type Device struct {
+	Cfg *flash.Config
+	Arr *flash.Array
+	Eng *sim.Engine
+	Err *errmodel.Model
+	Map *ftl.Map
+	Met *Metrics
+
+	// SLC cache state. Open blocks are striped: one allocation point per
+	// channel and level, so consecutive writes exploit channel parallelism
+	// the way SSDsim's dynamic allocation does.
+	slcFree       []int                     // erased SLC blocks
+	open          [flash.LevelHot + 1][]int // open block per level and stripe, -1 = none
+	rr            [flash.LevelHot + 1]int   // round-robin cursor per level
+	slcFreePages  int                       // never-programmed pages across the SLC region
+	slcTotalPages int
+	slcGCActive   bool
+
+	// MLC region state, striped like the SLC open blocks.
+	mlcOpen     []int
+	mlcRR       int
+	mlcFree     []int
+	mlcGCActive bool
+
+	// gcBackground routes flash operations to the engine's background
+	// (host-subordinate) track while a garbage collection is running.
+	gcBackground bool
+
+	// blockReadyAt gates reuse of erased blocks: a block erased in the
+	// background cannot be programmed before its erase (and the chip's
+	// earlier backlog) completes. While no erased SLC block is ready, host
+	// writes overflow to the MLC region — the fragmentation penalty the
+	// paper describes as the cache failing to absorb requests.
+	blockReadyAt []int64
+
+	// Occupancy gauges for the Fig. 11 memory model.
+	slcValidSub       int64 // valid subpages resident in SLC
+	slcPagesWithValid int64 // SLC pages holding at least one valid subpage
+}
+
+// perform schedules one flash operation, routing it to the background
+// track during garbage collection so GC work drains in idle gaps instead
+// of stalling host requests (until the per-chip backlog cap).
+func (d *Device) perform(now int64, blockID int, kind sim.OpKind, subpages int, extra time.Duration) int64 {
+	if d.gcBackground {
+		return d.Eng.PerformBackground(now, blockID, kind, subpages)
+	}
+	return d.Eng.Perform(now, blockID, kind, subpages, extra)
+}
+
+// NewDevice builds a fresh device. The error model must validate.
+func NewDevice(cfg *flash.Config, em *errmodel.Model) (*Device, error) {
+	if err := em.Validate(); err != nil {
+		return nil, err
+	}
+	arr, err := flash.NewArray(cfg)
+	if err != nil {
+		return nil, err
+	}
+	d := &Device{
+		Cfg: cfg,
+		Arr: arr,
+		Eng: sim.NewEngine(cfg),
+		Err: em,
+		Map: ftl.NewMap(cfg.LogicalSubpages),
+		Met: &Metrics{},
+	}
+	d.slcFree = append(d.slcFree, arr.SLCBlockIDs()...)
+	d.mlcFree = append(d.mlcFree, arr.MLCBlockIDs()...)
+	// SLC stripes are capped so the three levels' open blocks cannot pin
+	// more than a quarter of the small SLC region; the MLC region is large
+	// enough to stripe across every channel.
+	slcStripes := cfg.Channels
+	if maxStripes := cfg.SLCBlocks() / 12; slcStripes > maxStripes {
+		slcStripes = maxStripes
+	}
+	if slcStripes < 1 {
+		slcStripes = 1
+	}
+	for i := range d.open {
+		d.open[i] = make([]int, slcStripes)
+		for j := range d.open[i] {
+			d.open[i][j] = -1
+		}
+	}
+	d.mlcOpen = make([]int, cfg.Channels)
+	for j := range d.mlcOpen {
+		d.mlcOpen[j] = -1
+	}
+	d.slcTotalPages = cfg.SLCBlocks() * cfg.SLCPagesPerBlock
+	d.slcFreePages = d.slcTotalPages
+	d.blockReadyAt = make([]int64, cfg.Blocks)
+	if cfg.PreFillMLC {
+		d.preFill()
+	}
+	return d, nil
+}
+
+// preFill preconditions the device: the whole logical space is written
+// sequentially into the MLC region at time zero, frame by frame, without
+// charging simulated time or appearing in the program counters the figures
+// report. This models a device already in service, matching the non-zero
+// P/E baseline of Table 2.
+func (d *Device) preFill() {
+	slots := d.Cfg.SlotsPerPage()
+	frames := (d.Cfg.LogicalSubpages + slots - 1) / slots
+	for f := 0; f < frames; f++ {
+		blk, page := d.allocMLCPage()
+		writes := make([]flash.SlotWrite, 0, slots)
+		for i := 0; i < slots; i++ {
+			lsn := flash.LSN(f*slots + i)
+			if int(lsn) >= d.Cfg.LogicalSubpages {
+				break
+			}
+			writes = append(writes, flash.SlotWrite{Slot: len(writes), LSN: lsn})
+		}
+		_, err := d.Arr.ProgramPage(blk, page, writes, 0)
+		must(err)
+		for _, w := range writes {
+			d.Map.Set(w.LSN, flash.NewPPA(blk, page, w.Slot))
+		}
+	}
+	// Preconditioning is history, not measurement: reset the counters the
+	// evaluation figures report.
+	d.Arr.MLCPrograms = 0
+	d.Arr.SLCPrograms = 0
+	d.Arr.PartialPrograms = 0
+}
+
+// must panics on errors that indicate an internal bookkeeping bug: the
+// flash layer rejected an operation the policy layer believed legal.
+func must(err error) {
+	if err != nil {
+		panic(fmt.Sprintf("scheme: internal invariant violated: %v", err))
+	}
+}
+
+// SLCFreePages returns the free-page count the GC trigger watches.
+func (d *Device) SLCFreePages() int { return d.slcFreePages }
+
+// SLCValidSubpages returns the valid subpages currently resident in SLC.
+func (d *Device) SLCValidSubpages() int64 { return d.slcValidSub }
+
+// ---------------------------------------------------------------------------
+// Logical address helpers
+
+// LSNRange converts a byte range into the logical subpages it touches,
+// wrapping modulo the logical space.
+func (d *Device) LSNRange(offset int64, size int) []flash.LSN {
+	sub := int64(d.Cfg.SubpageSizeBytes)
+	first := offset / sub
+	last := (offset + int64(size) - 1) / sub
+	out := make([]flash.LSN, 0, last-first+1)
+	for s := first; s <= last; s++ {
+		out = append(out, flash.LSN(s%int64(d.Cfg.LogicalSubpages)))
+	}
+	return out
+}
+
+// Chunks splits a byte range into frame-aligned LSN runs: each chunk's
+// subpages belong to one 16 KiB logical page frame, the write unit of every
+// scheme's placement policy.
+func (d *Device) Chunks(offset int64, size int) [][]flash.LSN {
+	lsns := d.LSNRange(offset, size)
+	slots := d.Cfg.SlotsPerPage()
+	var out [][]flash.LSN
+	var cur []flash.LSN
+	curFrame := int32(-1)
+	for _, l := range lsns {
+		f := l.Frame(slots)
+		if f != curFrame && len(cur) > 0 {
+			out = append(out, cur)
+			cur = nil
+		}
+		curFrame = f
+		cur = append(cur, l)
+	}
+	if len(cur) > 0 {
+		out = append(out, cur)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Mapping maintenance
+
+// pageValidCount counts valid slots in a physical page.
+func pageValidCount(pg *flash.Page) int {
+	n := 0
+	for i := range pg.Slots {
+		if pg.Slots[i].State == flash.SubValid {
+			n++
+		}
+	}
+	return n
+}
+
+// invalidate drops the current version of a logical subpage, maintaining
+// the SLC occupancy gauges.
+func (d *Device) invalidate(lsn flash.LSN) {
+	ppa := d.Map.Get(lsn)
+	if !ppa.Mapped() {
+		return
+	}
+	b := d.Arr.Block(ppa.Block())
+	must(d.Arr.Invalidate(ppa))
+	if b.Mode == flash.ModeSLC {
+		d.slcValidSub--
+		if pageValidCount(&b.Pages[ppa.Page()]) == 0 {
+			d.slcPagesWithValid--
+		}
+	}
+	d.Map.Unmap(lsn)
+}
+
+// updatePeaks refreshes the Fig. 11 peak-occupancy gauges.
+func (d *Device) updatePeaks() {
+	if d.slcValidSub > d.Met.PeakSLCValidSubpages {
+		d.Met.PeakSLCValidSubpages = d.slcValidSub
+	}
+	if d.slcPagesWithValid > d.Met.PeakSLCFramePages {
+		d.Met.PeakSLCFramePages = d.slcPagesWithValid
+	}
+}
+
+// ---------------------------------------------------------------------------
+// SLC allocation
+
+// isOpenSLC reports whether a block is an open allocation point (and thus
+// not a GC victim candidate).
+func (d *Device) isOpenSLC(id int) bool {
+	for _, level := range d.open {
+		for _, o := range level {
+			if o == id {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// popMinErase removes and returns the block with the lowest erase count —
+// the static wear-levelling rule of Table 2.
+func popMinErase(list *[]int, arr *flash.Array) int {
+	l := *list
+	best := 0
+	for i := 1; i < len(l); i++ {
+		if arr.Block(l[i]).EraseCount < arr.Block(l[best]).EraseCount {
+			best = i
+		}
+	}
+	id := l[best]
+	l[best] = l[len(l)-1]
+	*list = l[:len(l)-1]
+	return id
+}
+
+// popMinEraseReady is popMinErase restricted to blocks whose background
+// erase has completed by now. It returns -1 when no block is ready.
+func (d *Device) popMinEraseReady(list *[]int, now int64) int {
+	l := *list
+	best := -1
+	for i := range l {
+		if d.blockReadyAt[l[i]] > now {
+			continue
+		}
+		if best < 0 || d.Arr.Block(l[i]).EraseCount < d.Arr.Block(l[best]).EraseCount {
+			best = i
+		}
+	}
+	if best < 0 {
+		return -1
+	}
+	id := l[best]
+	l[best] = l[len(l)-1]
+	*list = l[:len(l)-1]
+	return id
+}
+
+// allocSLCPage reserves the next free page of an open block at the given
+// level, rotating round-robin across the per-channel stripes and opening a
+// fresh block (labelled with that level) when a stripe runs dry. When the
+// free pool is exhausted it falls back to any other open block with room,
+// preferring lower levels, per Algorithm 1's note that "lower level blocks
+// can be instead selected only if no available block can be found".
+// ok is false when the SLC cache has no programmable page at all.
+func (d *Device) allocSLCPage(now int64, level flash.BlockLevel) (blk, page int, ok bool) {
+	stripes := len(d.open[level])
+	for try := 0; try < stripes; try++ {
+		slot := d.rr[level] % stripes
+		d.rr[level]++
+		if id := d.open[level][slot]; id >= 0 && !d.Arr.Block(id).Full() {
+			d.slcFreePages--
+			return id, d.Arr.Block(id).NextFreePage, true
+		}
+		if id := d.popMinEraseReady(&d.slcFree, now); id >= 0 {
+			b := d.Arr.Block(id)
+			b.Level = level
+			d.open[level][slot] = id
+			d.slcFreePages--
+			return id, b.NextFreePage, true
+		}
+		// No erased block is ready: this stripe's block is full; try the
+		// next stripe.
+	}
+	// Fallback: any open block with room, lower levels first.
+	order := []flash.BlockLevel{flash.LevelWork, flash.LevelMonitor, flash.LevelHot}
+	for _, l := range order {
+		for _, id := range d.open[l] {
+			if id >= 0 && !d.Arr.Block(id).Full() {
+				d.slcFreePages--
+				return id, d.Arr.Block(id).NextFreePage, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// programSLC programs the given slots of one SLC page, updating the map,
+// the occupancy gauges and the per-level program counters, and returns the
+// operation completion time. deadRest kills the page's remaining free slots
+// (Baseline's whole-page programming).
+func (d *Device) programSLC(now int64, blk, page int, writes []flash.SlotWrite, deadRest bool) int64 {
+	b := d.Arr.Block(blk)
+	pg := &b.Pages[page]
+	hadValid := pageValidCount(pg) > 0
+	_, err := d.Arr.ProgramPage(blk, page, writes, now)
+	must(err)
+	if deadRest {
+		var dead []int
+		for i := range pg.Slots {
+			if pg.Slots[i].State == flash.SubFree {
+				dead = append(dead, i)
+			}
+		}
+		if len(dead) > 0 {
+			must(d.Arr.MarkDead(blk, page, dead...))
+		}
+	}
+	for _, w := range writes {
+		d.Map.Set(w.LSN, flash.NewPPA(blk, page, w.Slot))
+	}
+	d.slcValidSub += int64(len(writes))
+	if !hadValid {
+		d.slcPagesWithValid++
+	}
+	d.Met.LevelPrograms[b.Level]++
+	d.updatePeaks()
+	return d.perform(now, blk, sim.OpProgram, len(writes), 0)
+}
+
+// WriteChunkSLC places one frame-aligned chunk into a fresh SLC page at
+// the requested level: old versions are invalidated, the first len(lsns)
+// slots are programmed, and the remainder is killed (deadRest) or reserved
+// for future in-page updates. ok is false when the cache is out of space;
+// the caller should fall back to the MLC region.
+func (d *Device) WriteChunkSLC(now int64, level flash.BlockLevel, lsns []flash.LSN, deadRest bool) (end int64, ok bool) {
+	blk, page, ok := d.allocSLCPage(now, level)
+	if !ok {
+		return now, false
+	}
+	for _, l := range lsns {
+		d.invalidate(l)
+	}
+	writes := make([]flash.SlotWrite, len(lsns))
+	for i, l := range lsns {
+		writes[i] = flash.SlotWrite{Slot: i, LSN: l}
+	}
+	return d.programSLC(now, blk, page, writes, deadRest), true
+}
+
+// ---------------------------------------------------------------------------
+// MLC region
+
+// mlcReserve is the free-block floor that keeps GC movement deadlock-free:
+// one victim's valid data can open at most one fresh block per stripe.
+func (d *Device) mlcReserve() int {
+	r := int(float64(len(d.Arr.MLCBlockIDs())) * d.Cfg.MLCGCThresholdFraction)
+	if min := len(d.mlcOpen) + 2; r < min {
+		r = min
+	}
+	return r
+}
+
+// allocMLCPage returns the next free MLC page, rotating across the striped
+// open blocks and opening a new block when a stripe fills. Callers must
+// have called ensureMLCSpace.
+func (d *Device) allocMLCPage() (blk, page int) {
+	stripes := len(d.mlcOpen)
+	for try := 0; try < stripes; try++ {
+		slot := d.mlcRR % stripes
+		d.mlcRR++
+		if id := d.mlcOpen[slot]; id >= 0 && !d.Arr.Block(id).Full() {
+			return id, d.Arr.Block(id).NextFreePage
+		}
+		if len(d.mlcFree) > 0 {
+			id := popMinErase(&d.mlcFree, d.Arr)
+			d.mlcOpen[slot] = id
+			return id, d.Arr.Block(id).NextFreePage
+		}
+	}
+	panic("scheme: MLC region exhausted; logical space exceeds over-provisioned capacity")
+}
+
+// isOpenMLC reports whether a block is an open MLC allocation point.
+func (d *Device) isOpenMLC(id int) bool {
+	for _, o := range d.mlcOpen {
+		if o == id {
+			return true
+		}
+	}
+	return false
+}
+
+// ensureMLCSpace runs greedy MLC garbage collection until the free-block
+// reserve is restored. It is a no-op while an MLC GC is already running.
+func (d *Device) ensureMLCSpace(now int64) {
+	if d.mlcGCActive || len(d.mlcFree) >= d.mlcReserve() {
+		return
+	}
+	d.mlcGCActive = true
+	wasBackground := d.gcBackground
+	d.gcBackground = true
+	defer func() {
+		d.mlcGCActive = false
+		d.gcBackground = wasBackground
+	}()
+	for attempts := 0; len(d.mlcFree) < d.mlcReserve() && attempts < 8; attempts++ {
+		v := d.selectMLCVictim()
+		if v < 0 {
+			break
+		}
+		d.Met.MLCGCs++
+		d.moveMLCVictim(now, v)
+		b := d.Arr.Block(v)
+		freeBefore := b.FreePages()
+		must(d.Arr.Erase(v))
+		d.perform(now, v, sim.OpErase, 0, 0)
+		d.blockReadyAt[v] = d.Eng.ChipAvailableAt(d.Arr.ChipOf(v))
+		_ = freeBefore
+		d.mlcFree = append(d.mlcFree, v)
+	}
+}
+
+// selectMLCVictim picks the MLC block with the most reclaimable (invalid or
+// dead) subpages. Returns -1 when no block frees any space.
+func (d *Device) selectMLCVictim() int {
+	best, bestScore := -1, 0
+	for _, id := range d.Arr.MLCBlockIDs() {
+		if d.isOpenMLC(id) {
+			continue
+		}
+		b := d.Arr.Block(id)
+		score := b.InvalidSub + b.DeadSub
+		if score > bestScore {
+			best, bestScore = id, score
+		}
+	}
+	return best
+}
+
+// moveMLCVictim relocates a victim's valid data, consolidating each frame
+// into a fresh page via WriteFrameMLC.
+func (d *Device) moveMLCVictim(now int64, victim int) {
+	b := d.Arr.Block(victim)
+	var frameOrder []int32
+	frames := make(map[int32][]flash.LSN)
+	slots := d.Cfg.SlotsPerPage()
+	for p := range b.Pages {
+		pg := &b.Pages[p]
+		valid := 0
+		for s := range pg.Slots {
+			if pg.Slots[s].State == flash.SubValid {
+				valid++
+				f := pg.Slots[s].LSN.Frame(slots)
+				if _, seen := frames[f]; !seen {
+					frameOrder = append(frameOrder, f)
+				}
+				frames[f] = append(frames[f], pg.Slots[s].LSN)
+			}
+		}
+		if valid > 0 {
+			d.perform(now, victim, sim.OpRead, valid, 0)
+		}
+	}
+	for _, f := range frameOrder {
+		lsns := frames[f]
+		d.Met.GCMovedSubpages += int64(len(lsns))
+		d.WriteFrameMLC(now, lsns)
+	}
+}
+
+// WriteFrameMLC writes one frame-aligned chunk into a fresh MLC page.
+// Because the MLC region is page-mapped, any other valid subpages of the
+// same frame already resident in MLC are merged in (read-modify-write);
+// subpages of the frame whose newest version lives in SLC stay there.
+// Returns the program completion time.
+func (d *Device) WriteFrameMLC(now int64, lsns []flash.LSN) int64 {
+	slots := d.Cfg.SlotsPerPage()
+	frame := lsns[0].Frame(slots)
+	d.ensureMLCSpace(now)
+	blk, page := d.allocMLCPage()
+
+	inSet := make([]bool, slots)
+	for _, l := range lsns {
+		inSet[int(l)-int(frame)*slots] = true
+	}
+	gather := append([]flash.LSN(nil), lsns...)
+	var siblingPages []flash.PPA
+	siblingCount := make(map[flash.PPA]int)
+	for i := 0; i < slots; i++ {
+		if inSet[i] {
+			continue
+		}
+		l := flash.LSN(int(frame)*slots + i)
+		if int(l) >= d.Map.Len() {
+			continue
+		}
+		ppa := d.Map.Get(l)
+		if !ppa.Mapped() || d.Arr.Block(ppa.Block()).Mode != flash.ModeMLC {
+			continue
+		}
+		gather = append(gather, l)
+		pa := ppa.PageAddr()
+		if siblingCount[pa] == 0 {
+			siblingPages = append(siblingPages, pa)
+		}
+		siblingCount[pa]++
+	}
+	for _, pa := range siblingPages {
+		d.perform(now, pa.Block(), sim.OpRead, siblingCount[pa], 0)
+	}
+	for _, l := range gather {
+		d.invalidate(l)
+	}
+	writes := make([]flash.SlotWrite, len(gather))
+	for i, l := range gather {
+		writes[i] = flash.SlotWrite{Slot: i, LSN: l}
+	}
+	_, err := d.Arr.ProgramPage(blk, page, writes, now)
+	must(err)
+	if len(gather) < slots {
+		var dead []int
+		for i := len(gather); i < slots; i++ {
+			dead = append(dead, i)
+		}
+		must(d.Arr.MarkDead(blk, page, dead...))
+	}
+	for i, l := range gather {
+		d.Map.Set(l, flash.NewPPA(blk, page, i))
+	}
+	d.Met.LevelPrograms[flash.LevelHighDensity]++
+	return d.perform(now, blk, sim.OpProgram, len(gather), 0)
+}
+
+// ---------------------------------------------------------------------------
+// Shared read path
+
+// cellReadTime returns the sensing latency of a block's mode, used to
+// charge read retries.
+func (d *Device) cellReadTime(mode flash.Mode) time.Duration {
+	if mode == flash.ModeSLC {
+		return d.Cfg.Timing.SLCRead
+	}
+	return d.Cfg.Timing.MLCRead
+}
+
+// ReadReq services a host read: mapped subpages are read from their
+// physical pages (one flash read per distinct page, with per-subpage ECC
+// cost from the error model); unmapped subpages model data written before
+// the trace began and are charged as clean MLC reads. Returns the request
+// completion time and records latency and BER metrics.
+func (d *Device) ReadReq(now int64, offset int64, size int) int64 {
+	lsns := d.LSNRange(offset, size)
+	slots := d.Cfg.SlotsPerPage()
+
+	type group struct {
+		ppa   flash.PPA // page address
+		slotN []int
+	}
+	var groups []group
+	index := make(map[flash.PPA]int)
+	var unmappedFrames []int32
+	unmappedCount := make(map[int32]int)
+
+	for _, l := range lsns {
+		ppa := d.Map.Get(l)
+		if !ppa.Mapped() {
+			f := l.Frame(slots)
+			if unmappedCount[f] == 0 {
+				unmappedFrames = append(unmappedFrames, f)
+			}
+			unmappedCount[f]++
+			continue
+		}
+		pa := ppa.PageAddr()
+		gi, seen := index[pa]
+		if !seen {
+			gi = len(groups)
+			index[pa] = gi
+			groups = append(groups, group{ppa: pa})
+		}
+		groups[gi].slotN = append(groups[gi].slotN, ppa.Slot())
+	}
+
+	end := now
+	for _, g := range groups {
+		b := d.Arr.Block(g.ppa.Block())
+		pe := b.PE(d.Cfg.PEBaseline)
+		var extra time.Duration
+		retries := 0
+		for _, s := range g.slotN {
+			sp := d.Arr.Subpage(flash.NewPPA(g.ppa.Block(), g.ppa.Page(), s))
+			cost := d.Err.SubpageReadCost(pe, sp)
+			extra += cost.DecodeTime
+			retries += cost.Retries
+			d.Met.ReadBER.Add(cost.BER)
+			if cost.Uncorrectable {
+				d.Met.UncorrectableReads++
+			}
+		}
+		if b.Mode == flash.ModeSLC {
+			d.Met.SubpageReadsSLC += int64(len(g.slotN))
+		} else {
+			d.Met.SubpageReadsMLC += int64(len(g.slotN))
+		}
+		d.Met.ReadRetries += int64(retries)
+		extra += time.Duration(retries) * d.cellReadTime(b.Mode)
+		if e := d.Eng.Perform(now, g.ppa.Block(), sim.OpRead, len(g.slotN), extra); e > end {
+			end = e
+		}
+	}
+
+	if len(unmappedFrames) > 0 {
+		cost := d.Err.CostFromBER(d.Err.RawBER(d.Cfg.PEBaseline, false))
+		mlcIDs := d.Arr.MLCBlockIDs()
+		for _, f := range unmappedFrames {
+			n := unmappedCount[f]
+			// Deterministic pseudo-placement spreads pre-existing data
+			// across MLC chips.
+			blk := mlcIDs[int(f)%len(mlcIDs)]
+			for i := 0; i < n; i++ {
+				d.Met.ReadBER.Add(cost.BER)
+			}
+			d.Met.SubpageReadsMLC += int64(n)
+			extra := time.Duration(n) * cost.DecodeTime
+			if e := d.Eng.Perform(now, blk, sim.OpRead, n, extra); e > end {
+				end = e
+			}
+		}
+	}
+
+	d.Met.ReadLatency.Record(end - now)
+	d.Met.AllLatency.Record(end - now)
+	return end
+}
+
+// RecordWrite logs a completed host write request's latency.
+func (d *Device) RecordWrite(now, end int64) {
+	d.Met.WriteLatency.Record(end - now)
+	d.Met.AllLatency.Record(end - now)
+}

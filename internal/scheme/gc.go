@@ -1,0 +1,235 @@
+package scheme
+
+import (
+	"math"
+	"time"
+
+	"ipusim/internal/flash"
+	"ipusim/internal/sim"
+)
+
+// VictimSelector picks the next SLC GC victim block, or -1 when no block
+// is worth collecting. exclude filters blocks that must not be chosen
+// (open allocation points).
+type VictimSelector func(d *Device, now int64, exclude func(int) bool) int
+
+// MoveValid relocates a victim block's valid data ahead of its erase.
+type MoveValid func(d *Device, now int64, victim int)
+
+// maxGCVictimsPerTrigger bounds the work of one GC invocation so a
+// pathological all-hot cache cannot spin; the trigger re-fires on the next
+// write if space is still low.
+const maxGCVictimsPerTrigger = 2
+
+// gcHysteresis is the collect-until multiple of the trigger threshold.
+// Collecting past the trigger point keeps a few spare erased blocks in the
+// free pool, so a freshly opened block is rarely still mid-erase when the
+// next host write lands on its chip.
+const gcHysteresis = 1
+
+// MaybeGCSLC runs the SLC-cache garbage collector when the free-page
+// fraction has fallen below the configured threshold (Table 2: 5%),
+// using the scheme's victim selector and movement rule. Victim-selection
+// time is measured for the Fig. 12 overhead comparison.
+func (d *Device) MaybeGCSLC(now int64, selectVictim VictimSelector, move MoveValid) {
+	if d.slcGCActive {
+		return
+	}
+	threshold := int(float64(d.slcTotalPages) * d.Cfg.GCThresholdFraction)
+	if d.slcFreePages >= threshold {
+		return
+	}
+	target := threshold * gcHysteresis
+	d.slcGCActive = true
+	wasBackground := d.gcBackground
+	d.gcBackground = true
+	defer func() {
+		d.slcGCActive = false
+		d.gcBackground = wasBackground
+	}()
+	for iter := 0; iter < maxGCVictimsPerTrigger && d.slcFreePages < target; iter++ {
+		t0 := time.Now()
+		v := selectVictim(d, now, d.isOpenSLC)
+		d.Met.GCScanNS += time.Since(t0).Nanoseconds()
+		if v < 0 {
+			return
+		}
+		b := d.Arr.Block(v)
+		d.Met.SLCGCs++
+		d.Met.GCVictimUsedSub += int64(b.UsedSlots())
+		d.Met.GCVictimTotalSub += int64(b.TotalSlots())
+		move(d, now, v)
+		if b.ValidSub != 0 {
+			panic("scheme: GC movement left valid data in victim")
+		}
+		freeBefore := b.FreePages()
+		must(d.Arr.Erase(v))
+		d.perform(now, v, sim.OpErase, 0, 0)
+		d.blockReadyAt[v] = d.Eng.ChipAvailableAt(d.Arr.ChipOf(v))
+		d.slcFreePages += len(b.Pages) - freeBefore
+		d.slcFree = append(d.slcFree, v)
+	}
+}
+
+// GreedyVictim is the conventional policy (Baseline and MGA): the block
+// with the most reclaimable subpages — invalid plus dead — wins. Because
+// Baseline and MGA flush every valid subpage to MLC, any used block frees
+// a whole block; reclaimable count breaks the tie toward cheap victims.
+func GreedyVictim(d *Device, now int64, exclude func(int) bool) int {
+	best, bestScore := -1, -1
+	for _, id := range d.Arr.SLCBlockIDs() {
+		if exclude(id) {
+			continue
+		}
+		b := d.Arr.Block(id)
+		d.Met.GCBlocksScanned++
+		if b.UsedSlots() == 0 {
+			continue
+		}
+		// Only full blocks are closed; prefer maximal garbage.
+		score := b.InvalidSub + b.DeadSub
+		if score > bestScore {
+			best, bestScore = id, score
+		}
+	}
+	return best
+}
+
+// ISRVictim implements the paper's Eq. 1–2: the invalid subpage ratio
+// ISR_i = (IS_i + IS'_i) / TS_i, where IS counts reclaimable subpages and
+// IS' adds the coldness weight 1 - exp(-t_ij / T) of every valid,
+// never-updated subpage. T is the mean age of all never-updated valid
+// subpages in the cache (the "average access interval time"), so data that
+// has sat unwritten for longer than average weighs toward eviction. Blocks
+// rich in garbage or in cold valid data are preferred, which both frees
+// space and steers cold data toward the MLC region.
+func ISRVictim(d *Device, now int64, exclude func(int) bool) int {
+	// Pass 1: the cache-wide mean age T of never-updated valid subpages,
+	// from the per-block aggregates flash maintains (Block.JCount/JSumWT).
+	var sumAge, count int64
+	for _, id := range d.Arr.SLCBlockIDs() {
+		if exclude(id) {
+			continue
+		}
+		b := d.Arr.Block(id)
+		d.Met.GCBlocksScanned++
+		if b.UsedSlots() == 0 || b.JCount == 0 {
+			continue
+		}
+		sumAge += now*int64(b.JCount) - b.JSumWT
+		count += int64(b.JCount)
+	}
+	t := 1.0
+	if count > 0 {
+		t = float64(sumAge) / float64(count)
+		if t <= 0 {
+			t = 1
+		}
+	}
+
+	// Pass 2: score candidates by Eq. 1, evaluating the coldness weight at
+	// each block's mean data age: IS' = |J_i| * (1 - exp(-meanAge_i / T)).
+	best := -1
+	bestScore := 0.0
+	for _, id := range d.Arr.SLCBlockIDs() {
+		if exclude(id) {
+			continue
+		}
+		b := d.Arr.Block(id)
+		if b.UsedSlots() == 0 {
+			continue
+		}
+		isPrime := 0.0
+		if b.JCount > 0 {
+			meanAge := float64(now) - float64(b.JSumWT)/float64(b.JCount)
+			if meanAge < 0 {
+				meanAge = 0
+			}
+			isPrime = float64(b.JCount) * (1 - math.Exp(-meanAge/t))
+		}
+		score := (float64(b.InvalidSub+b.DeadSub) + isPrime) / float64(b.TotalSlots())
+		if score > bestScore {
+			best, bestScore = id, score
+		}
+	}
+	return best
+}
+
+// MoveFlushAll is the Baseline/MGA movement rule: every valid subpage is
+// flushed to the MLC region, frame groups consolidated page-by-page.
+func MoveFlushAll(d *Device, now int64, victim int) {
+	b := d.Arr.Block(victim)
+	slots := d.Cfg.SlotsPerPage()
+	var frameOrder []int32
+	frames := make(map[int32][]flash.LSN)
+	for p := range b.Pages {
+		pg := &b.Pages[p]
+		valid := 0
+		for s := range pg.Slots {
+			if pg.Slots[s].State == flash.SubValid {
+				valid++
+				f := pg.Slots[s].LSN.Frame(slots)
+				if _, seen := frames[f]; !seen {
+					frameOrder = append(frameOrder, f)
+				}
+				frames[f] = append(frames[f], pg.Slots[s].LSN)
+			}
+		}
+		if valid > 0 {
+			d.perform(now, victim, sim.OpRead, valid, 0)
+		}
+	}
+	for _, f := range frameOrder {
+		d.Met.GCMovedSubpages += int64(len(frames[f]))
+		d.WriteFrameMLC(now, frames[f])
+	}
+}
+
+// MoveIPU is the paper's degraded/sideways movement (Fig. 4, Algorithm 1
+// lines 14–19): pages that were updated in place keep their level; pages
+// never updated move one level down — and out of the SLC cache entirely
+// when they fall below Work level. Valid data is moved frame by frame, so
+// pages that hold several requests' data (the adaptive-combine extension)
+// relocate correctly too.
+func MoveIPU(d *Device, now int64, victim int) {
+	b := d.Arr.Block(victim)
+	level := b.Level
+	slots := d.Cfg.SlotsPerPage()
+	for p := range b.Pages {
+		pg := &b.Pages[p]
+		var frameOrder []int32
+		frames := make(map[int32][]flash.LSN)
+		valid := 0
+		for s := range pg.Slots {
+			if pg.Slots[s].State != flash.SubValid {
+				continue
+			}
+			valid++
+			f := pg.Slots[s].LSN.Frame(slots)
+			if _, seen := frames[f]; !seen {
+				frameOrder = append(frameOrder, f)
+			}
+			frames[f] = append(frames[f], pg.Slots[s].LSN)
+		}
+		if valid == 0 {
+			continue
+		}
+		d.perform(now, victim, sim.OpRead, valid, 0)
+		d.Met.GCMovedSubpages += int64(valid)
+		dest := level
+		if pg.ProgramCount <= 1 {
+			dest-- // never updated here: degrade
+		}
+		for _, f := range frameOrder {
+			lsns := frames[f]
+			if dest <= flash.LevelHighDensity {
+				d.WriteFrameMLC(now, lsns)
+				continue
+			}
+			if _, ok := d.WriteChunkSLC(now, dest, lsns, false); !ok {
+				// Cache exhausted mid-GC: evict to MLC rather than stall.
+				d.WriteFrameMLC(now, lsns)
+			}
+		}
+	}
+}

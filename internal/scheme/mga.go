@@ -1,0 +1,155 @@
+package scheme
+
+import (
+	"ipusim/internal/errmodel"
+	"ipusim/internal/flash"
+)
+
+// MGA is the Mapping-Granularity-Adaptive FTL (Feng et al., DATE'17), the
+// paper's closest related work: subpage-granularity mapping with partial
+// programming. Small writes from any request are appended into the free
+// slots of an open page, so pages fill to ~100% (Fig. 9) at the cost of
+// partial-programming disturb on co-resident valid data and a large
+// two-level mapping table (Fig. 11). GC is greedy and flushes valid data
+// to MLC.
+//
+// Open pages are striped per channel like the block allocators, so append
+// traffic exploits channel parallelism; each stripe's page still fills
+// completely before being replaced, preserving MGA's space efficiency.
+type MGA struct {
+	dev *Device
+
+	openPages []flash.PPA // per-stripe page accepting appends
+	hasOpen   []bool
+	rr        int
+}
+
+// NewMGA builds the MGA scheme on a fresh device.
+func NewMGA(cfg *flash.Config, em *errmodel.Model) (*MGA, error) {
+	d, err := NewDevice(cfg, em)
+	if err != nil {
+		return nil, err
+	}
+	stripes := len(d.open[flash.LevelWork])
+	return &MGA{
+		dev:       d,
+		openPages: make([]flash.PPA, stripes),
+		hasOpen:   make([]bool, stripes),
+	}, nil
+}
+
+// Name implements Scheme.
+func (m *MGA) Name() string { return "MGA" }
+
+// Device implements Scheme.
+func (m *MGA) Device() *Device { return m.dev }
+
+// Metrics implements Scheme.
+func (m *MGA) Metrics() *Metrics { return m.dev.Met }
+
+// roomAt returns the free slots of a stripe's open page, or nil when the
+// page is absent, full, or out of program budget.
+func (m *MGA) roomAt(slot int) []int {
+	if !m.hasOpen[slot] {
+		return nil
+	}
+	pp := m.openPages[slot]
+	pg := &m.dev.Arr.Block(pp.Block()).Pages[pp.Page()]
+	if int(pg.ProgramCount) >= m.dev.Cfg.MaxProgramsPerSLCPage {
+		return nil
+	}
+	var free []int
+	for s := range pg.Slots {
+		if pg.Slots[s].State == flash.SubFree {
+			free = append(free, s)
+		}
+	}
+	return free
+}
+
+// Write implements Scheme: subpages are appended into open pages' free
+// slots across the stripes; whatever does not fit flows into freshly
+// allocated pages, which then become their stripe's open page.
+func (m *MGA) Write(now int64, offset int64, size int) int64 {
+	d := m.dev
+	end := now
+	for _, chunk := range d.Chunks(offset, size) {
+		pending := chunk
+		for len(pending) > 0 {
+			slot := m.rr % len(m.openPages)
+			m.rr++
+			if free := m.roomAt(slot); len(free) > 0 {
+				n := len(pending)
+				if n > len(free) {
+					n = len(free)
+				}
+				head := pending[:n]
+				pending = pending[n:]
+				for _, l := range head {
+					d.invalidate(l)
+				}
+				writes := make([]flash.SlotWrite, n)
+				for i, l := range head {
+					writes[i] = flash.SlotWrite{Slot: free[i], LSN: l}
+				}
+				pp := m.openPages[slot]
+				if e := d.programSLC(now, pp.Block(), pp.Page(), writes, false); e > end {
+					end = e
+				}
+				continue
+			}
+			// Open a fresh page on this stripe.
+			blk, page, ok := d.allocSLCPage(now, flash.LevelWork)
+			if !ok {
+				e := d.WriteFrameMLC(now, pending)
+				d.Met.HostWritesToMLC++
+				if e > end {
+					end = e
+				}
+				pending = nil
+				break
+			}
+			n := len(pending)
+			if n > d.Cfg.SlotsPerPage() {
+				n = d.Cfg.SlotsPerPage()
+			}
+			head := pending[:n]
+			pending = pending[n:]
+			for _, l := range head {
+				d.invalidate(l)
+			}
+			writes := make([]flash.SlotWrite, n)
+			for i, l := range head {
+				writes[i] = flash.SlotWrite{Slot: i, LSN: l}
+			}
+			if e := d.programSLC(now, blk, page, writes, false); e > end {
+				end = e
+			}
+			m.openPages[slot] = flash.NewPPA(blk, page, 0)
+			m.hasOpen[slot] = true
+		}
+	}
+	d.MaybeGCSLC(now, m.victim, MoveFlushAll)
+	d.RecordWrite(now, end)
+	return end
+}
+
+// victim wraps GreedyVictim, additionally protecting the open pages'
+// blocks from collection.
+func (m *MGA) victim(d *Device, now int64, exclude func(int) bool) int {
+	return GreedyVictim(d, now, func(id int) bool {
+		for i, pp := range m.openPages {
+			if m.hasOpen[i] && pp.Block() == id {
+				return true
+			}
+		}
+		return exclude(id)
+	})
+}
+
+// Read implements Scheme.
+func (m *MGA) Read(now int64, offset int64, size int) int64 {
+	return m.dev.ReadReq(now, offset, size)
+}
+
+var _ Scheme = (*MGA)(nil)

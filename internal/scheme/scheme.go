@@ -1,0 +1,93 @@
+// Package scheme implements the three flash translation layers the paper
+// evaluates on top of the shared flash/timing substrate:
+//
+//   - Baseline: dynamic page-level mapping, partial programming disabled.
+//     A sub-page-sized write wastes the remainder of its physical page.
+//   - MGA: subpage-granularity mapping with partial programming (after
+//     Feng et al., DATE'17). Small writes from different requests are
+//     aggregated into the open page's free subpages, maximising space
+//     utilisation at the cost of in-page program disturb and a large
+//     two-level mapping table.
+//   - IPU: the paper's contribution. Updates are partially programmed into
+//     the page holding the previous version (intra-page update), a
+//     three-level block hierarchy (Work/Monitor/Hot) separates hot and
+//     cold data, and GC selects victims by invalid-subpage ratio with
+//     degraded movement of cold data toward the MLC region.
+//
+// All three share the Device: flash array, timing engine, error model,
+// logical-to-physical bookkeeping, SLC-cache and MLC-region allocators,
+// and garbage-collection plumbing.
+package scheme
+
+import (
+	"ipusim/internal/flash"
+	"ipusim/internal/metrics"
+)
+
+// Scheme is one flash translation layer driving the shared Device.
+type Scheme interface {
+	// Name returns the paper's label for the scheme.
+	Name() string
+	// Write services a host write request arriving at time now (ns) and
+	// returns its completion time. The request covers [offset, offset+size).
+	Write(now int64, offset int64, size int) int64
+	// Read services a host read request and returns its completion time.
+	Read(now int64, offset int64, size int) int64
+	// Device exposes the underlying device state for reporting.
+	Device() *Device
+	// Metrics exposes the run statistics.
+	Metrics() *Metrics
+}
+
+// Metrics aggregates everything the paper's figures report for one run.
+type Metrics struct {
+	// Host request latencies (Fig. 5 and Fig. 13).
+	ReadLatency  metrics.LatencySummary
+	WriteLatency metrics.LatencySummary
+	AllLatency   metrics.LatencySummary
+
+	// ReadBER averages the effective bit error rate over every subpage the
+	// host reads (Fig. 8 and Fig. 14).
+	ReadBER metrics.MeanAccumulator
+	// UncorrectableReads counts subpage reads whose raw errors exceeded
+	// the ECC capability even after retries.
+	UncorrectableReads int64
+	// ReadRetries counts extra sensing operations forced by high BER.
+	ReadRetries int64
+
+	// SubpageReadsSLC/MLC split host subpage reads by region.
+	SubpageReadsSLC, SubpageReadsMLC int64
+
+	// LevelPrograms counts page program operations per block level
+	// (Fig. 7; index by flash.BlockLevel, LevelHighDensity = MLC).
+	LevelPrograms [flash.LevelHot + 1]int64
+
+	// SLC-cache garbage collection (Figs. 9, 10, 12).
+	SLCGCs, MLCGCs int64
+	// GCVictimUsedSub / GCVictimTotalSub accumulate the page-utilisation
+	// numerator and denominator over SLC GC victims (Fig. 9).
+	GCVictimUsedSub, GCVictimTotalSub int64
+	// GCMovedSubpages counts valid subpages relocated by GC.
+	GCMovedSubpages int64
+	// GCScanNS is the accumulated wall-clock time of victim selection
+	// (Fig. 12), and GCBlocksScanned its deterministic proxy.
+	GCScanNS        int64
+	GCBlocksScanned int64
+
+	// Fig. 11 peak occupancies.
+	PeakSLCValidSubpages int64 // MGA second-level table entries
+	PeakSLCFramePages    int64 // IPU frames resident in SLC (pages with valid data)
+
+	// HostWritesToMLC counts host write chunks that bypassed the SLC cache
+	// because it could not make room.
+	HostWritesToMLC int64
+}
+
+// PageUtilization returns the Fig. 9 metric: used subpages over total
+// subpages across all SLC GC victims.
+func (m *Metrics) PageUtilization() float64 {
+	if m.GCVictimTotalSub == 0 {
+		return 0
+	}
+	return float64(m.GCVictimUsedSub) / float64(m.GCVictimTotalSub)
+}

@@ -1,0 +1,85 @@
+package scheme
+
+import (
+	"testing"
+
+	"ipusim/internal/flash"
+)
+
+// TestStaticWearLevelingSpread verifies the Table 2 wear-levelling rule:
+// allocating the lowest-erase-count free block keeps SLC block wear tight
+// even under a heavily skewed workload.
+func TestStaticWearLevelingSpread(t *testing.T) {
+	cfg := tinyConfig()
+	s := newScheme(t, "IPU", cfg)
+	d := s.Device()
+	now := int64(0)
+	for i := 0; i < 8000; i++ {
+		now += 2_000_000
+		// Hammer a tiny hot set plus a cold stream.
+		s.Write(now, int64(i%4)*8192, 8192)
+		s.Write(now, int64(1<<22)+int64(i)*8192, 8192)
+	}
+	if d.Arr.SLCErases == 0 {
+		t.Fatal("no erases; test ineffective")
+	}
+	min, max := int(^uint(0)>>1), 0
+	for _, id := range d.Arr.SLCBlockIDs() {
+		ec := d.Arr.Block(id).EraseCount
+		if ec < min {
+			min = ec
+		}
+		if ec > max {
+			max = ec
+		}
+	}
+	// Static wear levelling cannot equalise perfectly (open blocks lag),
+	// but the spread must stay within a small band of the mean.
+	mean := int(d.Arr.SLCErases) / len(d.Arr.SLCBlockIDs())
+	if max-min > mean+8 {
+		t.Errorf("erase spread too wide: min=%d max=%d mean=%d", min, max, mean)
+	}
+}
+
+// TestEffectivePEGrowsWithUse ties block wear to the error model: blocks
+// erased during the run read worse than the device baseline.
+func TestEffectivePEGrowsWithUse(t *testing.T) {
+	cfg := tinyConfig()
+	s := newScheme(t, "Baseline", cfg)
+	d := s.Device()
+	now := int64(0)
+	for i := 0; i < 600 && d.Arr.SLCErases == 0; i++ {
+		now += 2_000_000
+		s.Write(now, int64(i)*16384, 16384)
+	}
+	if d.Arr.SLCErases == 0 {
+		t.Fatal("no erases")
+	}
+	worn := -1
+	for _, id := range d.Arr.SLCBlockIDs() {
+		if d.Arr.Block(id).EraseCount > 0 {
+			worn = id
+			break
+		}
+	}
+	b := d.Arr.Block(worn)
+	if b.PE(cfg.PEBaseline) <= cfg.PEBaseline {
+		t.Errorf("worn block PE %d not above baseline %d", b.PE(cfg.PEBaseline), cfg.PEBaseline)
+	}
+	if got := d.Err.RawBER(b.PE(cfg.PEBaseline), false); got <= d.Err.RawBER(cfg.PEBaseline, false) {
+		t.Error("worn block BER not above baseline BER")
+	}
+}
+
+// TestLevelLabelsOnlyOnSLC confirms MLC blocks never acquire cache levels.
+func TestLevelLabelsOnlyOnSLC(t *testing.T) {
+	cfg := tinyConfig()
+	s := newScheme(t, "IPU", cfg)
+	d := s.Device()
+	driveWorkload(t, s, 3000, 41)
+	for _, id := range d.Arr.MLCBlockIDs() {
+		if lvl := d.Arr.Block(id).Level; lvl != flash.LevelHighDensity {
+			t.Fatalf("MLC block %d labelled %v", id, lvl)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+// Package sim provides the timing engine of the trace-driven simulation:
+// flash operations are scheduled onto per-chip and per-channel resources
+// with the latencies of Table 2, yielding request response times that
+// include queueing, bus transfer, cell operation and ECC decode time.
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"ipusim/internal/flash"
+)
+
+// OpKind is the class of a flash operation.
+type OpKind uint8
+
+const (
+	// OpRead senses a page and transfers subpages to the controller.
+	OpRead OpKind = iota
+	// OpProgram transfers subpages to the chip and programs a page.
+	OpProgram
+	// OpErase erases a block.
+	OpErase
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpRead:
+		return "read"
+	case OpProgram:
+		return "program"
+	case OpErase:
+		return "erase"
+	default:
+		return fmt.Sprintf("OpKind(%d)", uint8(k))
+	}
+}
+
+// OpStats aggregates operation counts and busy time per kind.
+type OpStats struct {
+	Count    [3]int64
+	BusyTime [3]int64 // nanoseconds of chip time
+	// BusyPerChip accumulates chip busy nanoseconds per chip, exposing
+	// load imbalance across the array.
+	BusyPerChip []int64
+	// CapStallNS accumulates host time stalled because a chip's background
+	// backlog exceeded the cap — the signature of GC failing to keep up.
+	CapStallNS int64
+}
+
+// Engine schedules flash operations. Chips serialise their operations;
+// channels serialise bus transfers. Both constraints follow SSDsim's
+// multilevel-parallelism model: a block's chip is fixed by block ID, so
+// consecutive blocks exploit channel and chip parallelism.
+type Engine struct {
+	cfg      *flash.Config
+	chipFree []int64 // next instant each parallel unit (plane) is idle
+	chanFree []int64 // next instant each channel bus is idle
+	// gcBacklog is deferred background (GC) work per chip, in nanoseconds.
+	// Background work drains into the idle gaps between host operations —
+	// the host-priority scheduling real FTLs use, with erase-suspend — and
+	// only stalls host operations once it exceeds the configured cap.
+	gcBacklog []int64
+	Stats     OpStats
+}
+
+// NewEngine builds an engine for the given geometry.
+func NewEngine(cfg *flash.Config) *Engine {
+	e := &Engine{
+		cfg:       cfg,
+		chipFree:  make([]int64, cfg.ParallelUnits()),
+		chanFree:  make([]int64, cfg.Channels),
+		gcBacklog: make([]int64, cfg.ParallelUnits()),
+	}
+	e.Stats.BusyPerChip = make([]int64, cfg.ParallelUnits())
+	return e
+}
+
+// cellTime returns the raw flash cell latency of an operation.
+func (e *Engine) cellTime(kind OpKind, mode flash.Mode) time.Duration {
+	t := &e.cfg.Timing
+	switch kind {
+	case OpRead:
+		if mode == flash.ModeSLC {
+			return t.SLCRead
+		}
+		return t.MLCRead
+	case OpProgram:
+		if mode == flash.ModeSLC {
+			return t.SLCProgram
+		}
+		return t.MLCProgram
+	default:
+		return t.Erase
+	}
+}
+
+// Perform schedules one flash operation touching the given block.
+//
+// arrival is the earliest instant the operation may start. subpages sets
+// the bus transfer volume (zero for erase). extra is controller-side time
+// appended after the flash operation (ECC decode, read retries); it
+// occupies neither chip nor channel.
+//
+// Perform returns the operation completion time. The chip is busy for the
+// cell time plus the transfer, the channel for the transfer only.
+func (e *Engine) Perform(arrival int64, blockID int, kind OpKind, subpages int, extra time.Duration) int64 {
+	chip := e.cfg.UnitOf(blockID)
+	ch := e.cfg.ChannelOfUnit(chip)
+	xfer := int64(e.cfg.Timing.TransferPerSubpage) * int64(subpages)
+	cell := int64(e.cellTime(kind, e.modeOf(blockID)))
+
+	// Drain background GC work into the idle gap ahead of this host
+	// operation; beyond the cap the remainder stalls the host.
+	if bl := e.gcBacklog[chip]; bl > 0 {
+		if gap := arrival - e.chipFree[chip]; gap > 0 {
+			drain := gap
+			if drain > bl {
+				drain = bl
+			}
+			bl -= drain
+			e.chipFree[chip] += drain
+		}
+		if capNS := int64(e.cfg.GCBacklogCap); bl > capNS {
+			e.chipFree[chip] += bl - capNS
+			e.Stats.CapStallNS += bl - capNS
+			bl = capNS
+		}
+		e.gcBacklog[chip] = bl
+	}
+
+	start := arrival
+	if e.chipFree[chip] > start {
+		start = e.chipFree[chip]
+	}
+	if subpages > 0 && e.chanFree[ch] > start {
+		start = e.chanFree[ch]
+	}
+	busy := cell + xfer
+	e.chipFree[chip] = start + busy
+	if subpages > 0 {
+		e.chanFree[ch] = start + xfer
+	}
+	e.Stats.Count[kind]++
+	e.Stats.BusyTime[kind] += busy
+	e.Stats.BusyPerChip[chip] += busy
+	return start + busy + int64(extra)
+}
+
+// PerformBackground schedules one garbage-collection operation at host-
+// subordinate priority: its cost joins the chip's backlog and is worked
+// off during idle gaps, the way real FTLs interleave GC with host traffic
+// (using program/erase suspension). The result is the enqueue time — GC
+// data movement is bookkept immediately; only the time is deferred.
+func (e *Engine) PerformBackground(arrival int64, blockID int, kind OpKind, subpages int) int64 {
+	chip := e.cfg.UnitOf(blockID)
+	xfer := int64(e.cfg.Timing.TransferPerSubpage) * int64(subpages)
+	busy := int64(e.cellTime(kind, e.modeOf(blockID))) + xfer
+	e.gcBacklog[chip] += busy
+	e.Stats.Count[kind]++
+	e.Stats.BusyTime[kind] += busy
+	e.Stats.BusyPerChip[chip] += busy
+	return arrival
+}
+
+// Backlog returns a chip's pending background work in nanoseconds.
+func (e *Engine) Backlog(chip int) int64 { return e.gcBacklog[chip] }
+
+// ChipAvailableAt estimates when a chip will have worked off its current
+// queue including background backlog — the earliest a block erased in the
+// background becomes programmable again.
+func (e *Engine) ChipAvailableAt(chip int) int64 {
+	return e.chipFree[chip] + e.gcBacklog[chip]
+}
+
+// modeOf derives a block's mode from the SLC/MLC partition (SLC blocks
+// occupy the low IDs, mirroring flash.NewArray).
+func (e *Engine) modeOf(blockID int) flash.Mode {
+	if blockID < e.cfg.SLCBlocks() {
+		return flash.ModeSLC
+	}
+	return flash.ModeMLC
+}
+
+// Now returns the latest instant any chip becomes idle — an upper bound on
+// simulated device activity, useful for utilisation reporting.
+func (e *Engine) Now() int64 {
+	var m int64
+	for _, t := range e.chipFree {
+		if t > m {
+			m = t
+		}
+	}
+	return m
+}

@@ -1,0 +1,56 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// BenchmarkGenerate measures synthetic trace synthesis throughput.
+func BenchmarkGenerate(b *testing.B) {
+	p := Profiles["ts0"]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr, err := Generate(p, int64(i), 0.01)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tr.Records) == 0 {
+			b.Fatal("empty trace")
+		}
+	}
+}
+
+// BenchmarkAnalyze measures the Table 1/3 statistics pass.
+func BenchmarkAnalyze(b *testing.B) {
+	tr, err := Generate(Profiles["usr0"], 1, 0.02)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := Analyze(tr)
+		if s.Requests == 0 {
+			b.Fatal("no stats")
+		}
+	}
+}
+
+// BenchmarkParseMSR measures CSV parsing throughput.
+func BenchmarkParseMSR(b *testing.B) {
+	tr, err := Generate(Profiles["lun2"], 1, 0.01)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteMSR(&sb, tr); err != nil {
+		b.Fatal(err)
+	}
+	in := sb.String()
+	b.SetBytes(int64(len(in)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseMSR("bench", strings.NewReader(in)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

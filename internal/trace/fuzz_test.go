@@ -1,0 +1,37 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseMSR checks the parser never panics and that anything it accepts
+// is a well-formed trace that round-trips through the writer.
+func FuzzParseMSR(f *testing.F) {
+	f.Add("128166372003061629,host,0,Write,4096,4096,100\n")
+	f.Add("0,h,0,R,0,512,0\n1,h,0,W,512,512,0\n")
+	f.Add("# comment\n\n5,x,2,read,8192,16384,7\n")
+	f.Add("garbage")
+	f.Add("1,h,0,Write,-5,100,0\n")
+	f.Add("9223372036854775807,h,0,Write,1,1,0\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := ParseMSR("fuzz", strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("accepted trace fails validation: %v", err)
+		}
+		var sb strings.Builder
+		if err := WriteMSR(&sb, tr); err != nil {
+			t.Fatalf("writer failed on accepted trace: %v", err)
+		}
+		again, err := ParseMSR("fuzz2", strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("round-trip parse failed: %v", err)
+		}
+		if len(again.Records) != len(tr.Records) {
+			t.Fatalf("round trip lost records: %d -> %d", len(tr.Records), len(again.Records))
+		}
+	})
+}

@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The MSR-Cambridge block I/O trace format is CSV with the fields
+//
+//	Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime
+//
+// where Timestamp and ResponseTime are Windows FILETIME values (100 ns
+// ticks) and Type is "Read" or "Write".
+
+const filetimeTick = 100 // nanoseconds per FILETIME tick
+
+// ParseMSR reads a trace in MSR-Cambridge CSV format. Timestamps are
+// rebased so the first record is at time zero. Lines that are empty or
+// start with '#' are skipped.
+func ParseMSR(name string, r io.Reader) (*Trace, error) {
+	t := &Trace{Name: name}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var base int64
+	haveBase := false
+	lineNo := 0
+	// Records are parsed with absolute tick timestamps first, then rebased
+	// to the minimum so an out-of-order head cannot produce negative times.
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if len(fields) < 6 {
+			return nil, fmt.Errorf("trace %s line %d: %d fields, want at least 6", name, lineNo, len(fields))
+		}
+		ts, err := strconv.ParseInt(strings.TrimSpace(fields[0]), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace %s line %d: bad timestamp: %v", name, lineNo, err)
+		}
+		var op OpType
+		switch strings.ToLower(strings.TrimSpace(fields[3])) {
+		case "read", "r":
+			op = OpRead
+		case "write", "w":
+			op = OpWrite
+		default:
+			return nil, fmt.Errorf("trace %s line %d: unknown op %q", name, lineNo, fields[3])
+		}
+		off, err := strconv.ParseInt(strings.TrimSpace(fields[4]), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace %s line %d: bad offset: %v", name, lineNo, err)
+		}
+		if off < 0 {
+			return nil, fmt.Errorf("trace %s line %d: negative offset %d", name, lineNo, off)
+		}
+		size, err := strconv.Atoi(strings.TrimSpace(fields[5]))
+		if err != nil {
+			return nil, fmt.Errorf("trace %s line %d: bad size: %v", name, lineNo, err)
+		}
+		if size <= 0 {
+			return nil, fmt.Errorf("trace %s line %d: non-positive size %d", name, lineNo, size)
+		}
+		if !haveBase || ts < base {
+			base = ts
+			haveBase = true
+		}
+		t.Records = append(t.Records, Record{
+			Time:   ts, // absolute ticks; rebased below
+			Op:     op,
+			Offset: off,
+			Size:   size,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace %s: %v", name, err)
+	}
+	for i := range t.Records {
+		t.Records[i].Time = (t.Records[i].Time - base) * filetimeTick
+	}
+	t.Sort()
+	return t, nil
+}
+
+// WriteMSR writes a trace in MSR-Cambridge CSV format. The trace name is
+// used as the hostname field; disk number and response time are zero.
+func WriteMSR(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range t.Records {
+		if _, err := fmt.Fprintf(bw, "%d,%s,0,%s,%d,%d,0\n",
+			r.Time/filetimeTick, t.Name, r.Op, r.Offset, r.Size); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

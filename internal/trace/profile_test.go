@@ -1,0 +1,231 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"ipusim/internal/workload"
+)
+
+func TestProfilesAreComplete(t *testing.T) {
+	want := []string{"ts0", "wdev0", "lun1", "usr0", "lun2", "ads"}
+	for _, name := range want {
+		p, ok := Profiles[name]
+		if !ok {
+			t.Fatalf("missing profile %s", name)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("profile %s invalid: %v", name, err)
+		}
+		if p.Source == "" {
+			t.Errorf("profile %s lacks a source citation", name)
+		}
+	}
+	if len(Profiles) != len(want) {
+		t.Errorf("have %d profiles, want %d", len(Profiles), len(want))
+	}
+}
+
+func TestProfileNamesOrderedByWriteRatio(t *testing.T) {
+	names := ProfileNames()
+	if len(names) != 6 {
+		t.Fatalf("names = %v", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if Profiles[names[i-1]].WriteRatio < Profiles[names[i]].WriteRatio {
+			t.Fatalf("names not ordered by write ratio: %v", names)
+		}
+	}
+	if names[0] != "ts0" || names[5] != "ads" {
+		t.Errorf("expected ts0 first and ads last (Table 3 order), got %v", names)
+	}
+}
+
+func TestProfileTable3Constants(t *testing.T) {
+	// Spot-check the numbers transcribed from Table 3.
+	cases := []struct {
+		name     string
+		requests int
+		writeR   float64
+		sizeKB   float64
+		hot      float64
+	}{
+		{"ts0", 1801734, 0.824, 8.0, 0.505},
+		{"wdev0", 1143261, 0.799, 8.2, 0.582},
+		{"lun1", 1073405, 0.731, 7.6, 0.100},
+		{"usr0", 2237889, 0.596, 10.3, 0.365},
+		{"lun2", 1758887, 0.193, 9.7, 0.085},
+		{"ads", 1532120, 0.095, 7.0, 0.183},
+	}
+	for _, c := range cases {
+		p := Profiles[c.name]
+		if p.Requests != c.requests || p.WriteRatio != c.writeR ||
+			p.AvgWriteKB != c.sizeKB || p.HotWriteRatio != c.hot {
+			t.Errorf("%s profile does not match Table 3: %+v", c.name, p)
+		}
+	}
+}
+
+func TestGenerateRejections(t *testing.T) {
+	p := Profiles["ts0"]
+	if _, err := Generate(p, 1, 0); err == nil {
+		t.Error("scale 0 accepted")
+	}
+	if _, err := Generate(p, 1, 1.5); err == nil {
+		t.Error("scale > 1 accepted")
+	}
+	p.WriteRatio = 2
+	if _, err := Generate(p, 1, 0.1); err == nil {
+		t.Error("invalid profile accepted")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(Profiles["ts0"], 7, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Profiles["ts0"], 7, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Records) != len(b.Records) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			t.Fatal("same seed must reproduce the same trace")
+		}
+	}
+	c, err := Generate(Profiles["ts0"], 8, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Records {
+		if i < len(c.Records) && a.Records[i] != c.Records[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestGenerateWellFormed(t *testing.T) {
+	tr, err := Generate(Profiles["usr0"], 3, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range tr.Records {
+		if r.Offset%4096 != 0 || r.Size%4096 != 0 {
+			t.Fatalf("record %d not 4K aligned: %+v", i, r)
+		}
+	}
+}
+
+// TestGenerateMatchesTable3 is the Table 3 fidelity check: the synthetic
+// traces must reproduce the published request mix.
+func TestGenerateMatchesTable3(t *testing.T) {
+	for name, p := range Profiles {
+		tr, err := Generate(p, 42, 0.05)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		s := Analyze(tr)
+		if math.Abs(s.WriteRatio-p.WriteRatio) > 0.02 {
+			t.Errorf("%s: write ratio %.3f, want %.3f", name, s.WriteRatio, p.WriteRatio)
+		}
+		if rel := math.Abs(s.AvgWriteKB-p.AvgWriteKB) / p.AvgWriteKB; rel > 0.15 {
+			t.Errorf("%s: avg write size %.2f KB, want %.2f (+-15%%)", name, s.AvgWriteKB, p.AvgWriteKB)
+		}
+		if math.Abs(s.HotWriteRatio-p.HotWriteRatio) > 0.06 {
+			t.Errorf("%s: hot write ratio %.3f, want %.3f", name, s.HotWriteRatio, p.HotWriteRatio)
+		}
+	}
+}
+
+// TestGenerateMatchesTable1 validates the update-size distribution.
+func TestGenerateMatchesTable1(t *testing.T) {
+	for name, p := range Profiles {
+		tr, err := Generate(p, 17, 0.05)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		s := Analyze(tr)
+		if s.UpdatedWrites == 0 {
+			t.Fatalf("%s: no updated writes generated", name)
+		}
+		d := s.UpdateSizeDist
+		want := p.UpdateSizeDist
+		if math.Abs(d.Small-want.Small) > 0.08 ||
+			math.Abs(d.Medium-want.Medium) > 0.08 ||
+			math.Abs(d.Large-want.Large) > 0.08 {
+			t.Errorf("%s: update size dist {%.3f %.3f %.3f}, want {%.3f %.3f %.3f}",
+				name, d.Small, d.Medium, d.Large, want.Small, want.Medium, want.Large)
+		}
+	}
+}
+
+func TestAnalyzeEmptyTrace(t *testing.T) {
+	s := Analyze(&Trace{Name: "empty"})
+	if s.Requests != 0 || s.Writes != 0 || s.WriteRatio != 0 {
+		t.Errorf("empty stats: %+v", s)
+	}
+}
+
+func TestAnalyzeHandCraftedTrace(t *testing.T) {
+	// Address 0 written 4 times (hot, 3 updates); address 8192 written
+	// once (cold); one read.
+	tr := &Trace{Name: "hand", Records: []Record{
+		{Time: 0, Op: OpWrite, Offset: 0, Size: 4096},
+		{Time: 1, Op: OpWrite, Offset: 0, Size: 4096},
+		{Time: 2, Op: OpWrite, Offset: 0, Size: 8192},
+		{Time: 3, Op: OpWrite, Offset: 0, Size: 16384},
+		{Time: 4, Op: OpWrite, Offset: 8192, Size: 4096},
+		{Time: 5, Op: OpRead, Offset: 0, Size: 4096},
+	}}
+	s := Analyze(tr)
+	if s.Requests != 6 || s.Writes != 5 {
+		t.Fatalf("counts: %+v", s)
+	}
+	if s.UpdatedWrites != 3 {
+		t.Errorf("UpdatedWrites = %d, want 3", s.UpdatedWrites)
+	}
+	// The updates are 4K, 8K, 16K: one per bucket.
+	want := workload.SizeDist{Small: 1.0 / 3, Medium: 1.0 / 3, Large: 1.0 / 3}
+	if math.Abs(s.UpdateSizeDist.Small-want.Small) > 1e-9 ||
+		math.Abs(s.UpdateSizeDist.Medium-want.Medium) > 1e-9 ||
+		math.Abs(s.UpdateSizeDist.Large-want.Large) > 1e-9 {
+		t.Errorf("update dist: %+v", s.UpdateSizeDist)
+	}
+	// Address 0 is requested 5 times (>= 4): the 4 writes to it are hot.
+	if math.Abs(s.HotWriteRatio-0.8) > 1e-9 {
+		t.Errorf("HotWriteRatio = %.3f, want 0.8", s.HotWriteRatio)
+	}
+	wantAvg := (4.0 + 4 + 8 + 16 + 4) / 5
+	if math.Abs(s.AvgWriteKB-wantAvg) > 1e-9 {
+		t.Errorf("AvgWriteKB = %.3f, want %.3f", s.AvgWriteKB, wantAvg)
+	}
+	if s.DurationNS != 5 {
+		t.Errorf("DurationNS = %d", s.DurationNS)
+	}
+}
+
+func TestGenerateIsBursty(t *testing.T) {
+	tr, err := Generate(Profiles["ts0"], 5, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Analyze(tr)
+	if s.InterarrivalCV < 1.5 {
+		t.Errorf("inter-arrival CV = %.2f; synthetic traces must be bursty (>1.5)", s.InterarrivalCV)
+	}
+	if s.MeanInterarrivalNS <= 0 {
+		t.Error("mean inter-arrival not computed")
+	}
+}

@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"math"
+
+	"ipusim/internal/workload"
+)
+
+// Stats summarises a trace with exactly the quantities of the paper's
+// Tables 1 and 3, so synthetic traces can be validated against their
+// profiles and real traces can be characterised.
+type Stats struct {
+	// Requests is the total request count (Table 3 "# of Req.").
+	Requests int
+	// Writes is the number of write requests.
+	Writes int
+	// WriteRatio is Writes/Requests (Table 3 "Write R").
+	WriteRatio float64
+	// AvgWriteKB is the mean write request size in KB (Table 3 "Write SZ").
+	AvgWriteKB float64
+	// HotWriteRatio is the fraction of write requests whose start address
+	// is requested at least HotThreshold times in the trace (Table 3
+	// "Hot write").
+	HotWriteRatio float64
+	// UpdatedWrites counts write requests whose start address was written
+	// before (the "updated requests" of Table 1).
+	UpdatedWrites int
+	// UpdateSizeDist is the size bucket distribution over updated write
+	// requests (Table 1).
+	UpdateSizeDist workload.SizeDist
+	// DurationNS is the trace span in nanoseconds.
+	DurationNS int64
+	// MeanInterarrivalNS is the average request inter-arrival time.
+	MeanInterarrivalNS float64
+	// InterarrivalCV is the coefficient of variation (stddev over mean) of
+	// inter-arrival times: ~1 for a Poisson process, well above 1 for the
+	// bursty arrival patterns of enterprise traces.
+	InterarrivalCV float64
+}
+
+// HotThreshold is the paper's hotness criterion: an address is hot when it
+// is requested at least this many times (Table 3 caption).
+const HotThreshold = 4
+
+// Analyze computes trace statistics in two passes: one to count accesses
+// per start address, one to classify each write.
+func Analyze(t *Trace) Stats {
+	var s Stats
+	s.Requests = len(t.Records)
+	if s.Requests == 0 {
+		return s
+	}
+	s.DurationNS = t.Records[len(t.Records)-1].Time - t.Records[0].Time
+	if n := len(t.Records) - 1; n > 0 {
+		mean := float64(s.DurationNS) / float64(n)
+		var varSum float64
+		for i := 1; i < len(t.Records); i++ {
+			d := float64(t.Records[i].Time-t.Records[i-1].Time) - mean
+			varSum += d * d
+		}
+		s.MeanInterarrivalNS = mean
+		if mean > 0 {
+			s.InterarrivalCV = math.Sqrt(varSum/float64(n)) / mean
+		}
+	}
+
+	access := make(map[int64]int, s.Requests)
+	for _, r := range t.Records {
+		access[r.Offset]++
+	}
+
+	writtenBefore := make(map[int64]bool, s.Requests)
+	var writeBytes int64
+	var hotWrites int
+	var small, medium, large int
+	for _, r := range t.Records {
+		if r.Op != OpWrite {
+			continue
+		}
+		s.Writes++
+		writeBytes += int64(r.Size)
+		if access[r.Offset] >= HotThreshold {
+			hotWrites++
+		}
+		if writtenBefore[r.Offset] {
+			s.UpdatedWrites++
+			switch {
+			case r.Size <= 4*workload.KB:
+				small++
+			case r.Size <= 8*workload.KB:
+				medium++
+			default:
+				large++
+			}
+		}
+		writtenBefore[r.Offset] = true
+	}
+	s.WriteRatio = float64(s.Writes) / float64(s.Requests)
+	if s.Writes > 0 {
+		s.AvgWriteKB = float64(writeBytes) / float64(s.Writes) / workload.KB
+		s.HotWriteRatio = float64(hotWrites) / float64(s.Writes)
+	}
+	if s.UpdatedWrites > 0 {
+		u := float64(s.UpdatedWrites)
+		s.UpdateSizeDist = workload.SizeDist{
+			Small:  float64(small) / u,
+			Medium: float64(medium) / u,
+			Large:  float64(large) / u,
+		}
+	}
+	return s
+}

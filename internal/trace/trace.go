@@ -1,0 +1,87 @@
+// Package trace models block I/O traces: the record format, a parser and
+// writer for the MSR-Cambridge CSV format, synthetic generators that
+// reproduce the statistical shape of the paper's six evaluation traces
+// (Tables 1 and 3), and a statistics analyser that recomputes those tables
+// from any trace.
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// OpType is the I/O direction of a request.
+type OpType uint8
+
+const (
+	// OpRead is a read request.
+	OpRead OpType = iota
+	// OpWrite is a write request.
+	OpWrite
+)
+
+func (o OpType) String() string {
+	if o == OpRead {
+		return "Read"
+	}
+	return "Write"
+}
+
+// Record is one block I/O request.
+type Record struct {
+	// Time is the arrival timestamp in nanoseconds from trace start.
+	Time int64
+	// Op is the request direction.
+	Op OpType
+	// Offset is the starting byte address.
+	Offset int64
+	// Size is the request length in bytes.
+	Size int
+}
+
+// End returns the first byte after the request's range.
+func (r Record) End() int64 { return r.Offset + int64(r.Size) }
+
+// Trace is a named, time-ordered request sequence.
+type Trace struct {
+	Name    string
+	Records []Record
+}
+
+// Validate checks the trace is well-formed: ordered timestamps, positive
+// sizes, non-negative offsets.
+func (t *Trace) Validate() error {
+	prev := int64(-1)
+	for i, r := range t.Records {
+		if r.Time < prev {
+			return fmt.Errorf("trace %s: record %d out of order (%d < %d)", t.Name, i, r.Time, prev)
+		}
+		if r.Size <= 0 {
+			return fmt.Errorf("trace %s: record %d has size %d", t.Name, i, r.Size)
+		}
+		if r.Offset < 0 {
+			return fmt.Errorf("trace %s: record %d has negative offset", t.Name, i)
+		}
+		prev = r.Time
+	}
+	return nil
+}
+
+// MaxOffset returns the highest byte address any record touches, or zero
+// for an empty trace.
+func (t *Trace) MaxOffset() int64 {
+	var m int64
+	for _, r := range t.Records {
+		if e := r.End(); e > m {
+			m = e
+		}
+	}
+	return m
+}
+
+// Sort orders records by timestamp, breaking ties by original order.
+func (t *Trace) Sort() {
+	sort.SliceStable(t.Records, func(i, j int) bool {
+		return t.Records[i].Time < t.Records[j].Time
+	})
+}

@@ -1,0 +1,154 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTraceValidate(t *testing.T) {
+	good := &Trace{Name: "g", Records: []Record{
+		{Time: 0, Op: OpWrite, Offset: 0, Size: 4096},
+		{Time: 10, Op: OpRead, Offset: 4096, Size: 4096},
+	}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*Trace{
+		{Name: "order", Records: []Record{{Time: 10, Size: 1}, {Time: 5, Size: 1}}},
+		{Name: "size", Records: []Record{{Time: 0, Size: 0}}},
+		{Name: "offset", Records: []Record{{Time: 0, Offset: -1, Size: 1}}},
+	}
+	for _, tr := range bad {
+		if err := tr.Validate(); err == nil {
+			t.Errorf("trace %s accepted", tr.Name)
+		}
+	}
+}
+
+func TestRecordEndAndMaxOffset(t *testing.T) {
+	r := Record{Offset: 100, Size: 50}
+	if r.End() != 150 {
+		t.Errorf("End = %d", r.End())
+	}
+	tr := &Trace{Records: []Record{
+		{Offset: 0, Size: 10},
+		{Offset: 500, Size: 100},
+		{Offset: 300, Size: 10},
+	}}
+	if tr.MaxOffset() != 600 {
+		t.Errorf("MaxOffset = %d", tr.MaxOffset())
+	}
+	if (&Trace{}).MaxOffset() != 0 {
+		t.Error("empty trace MaxOffset != 0")
+	}
+}
+
+func TestTraceSortStable(t *testing.T) {
+	tr := &Trace{Records: []Record{
+		{Time: 5, Offset: 1, Size: 1},
+		{Time: 2, Offset: 2, Size: 1},
+		{Time: 5, Offset: 3, Size: 1},
+	}}
+	tr.Sort()
+	if tr.Records[0].Offset != 2 || tr.Records[1].Offset != 1 || tr.Records[2].Offset != 3 {
+		t.Errorf("sort order wrong: %+v", tr.Records)
+	}
+}
+
+func TestOpTypeString(t *testing.T) {
+	if OpRead.String() != "Read" || OpWrite.String() != "Write" {
+		t.Error("OpType strings wrong")
+	}
+}
+
+func TestMSRRoundTrip(t *testing.T) {
+	orig := &Trace{Name: "rt", Records: []Record{
+		{Time: 0, Op: OpWrite, Offset: 8192, Size: 4096},
+		{Time: 150 * 100, Op: OpRead, Offset: 0, Size: 16384},
+		{Time: 400 * 100, Op: OpWrite, Offset: 123456512, Size: 8192},
+	}}
+	var buf bytes.Buffer
+	if err := WriteMSR(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseMSR("rt", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Records) != len(orig.Records) {
+		t.Fatalf("record count %d, want %d", len(got.Records), len(orig.Records))
+	}
+	for i := range got.Records {
+		if got.Records[i] != orig.Records[i] {
+			t.Errorf("record %d: got %+v want %+v", i, got.Records[i], orig.Records[i])
+		}
+	}
+}
+
+func TestParseMSRRebasesTimestamps(t *testing.T) {
+	in := "128166372003061629,host,0,Write,4096,4096,100\n" +
+		"128166372003061729,host,0,Read,0,512,50\n"
+	tr, err := ParseMSR("m", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Records[0].Time != 0 {
+		t.Errorf("first timestamp %d, want 0", tr.Records[0].Time)
+	}
+	if tr.Records[1].Time != 100*filetimeTick {
+		t.Errorf("second timestamp %d, want %d", tr.Records[1].Time, 100*filetimeTick)
+	}
+}
+
+func TestParseMSRSkipsCommentsAndBlank(t *testing.T) {
+	in := "# header comment\n\n1000,h,0,Read,0,4096,0\n"
+	tr, err := ParseMSR("c", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Records) != 1 {
+		t.Fatalf("records = %d, want 1", len(tr.Records))
+	}
+}
+
+func TestParseMSRAcceptsShortOps(t *testing.T) {
+	in := "0,h,0,R,0,4096,0\n1,h,0,W,4096,4096,0\n"
+	tr, err := ParseMSR("s", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Records[0].Op != OpRead || tr.Records[1].Op != OpWrite {
+		t.Error("short op codes misparsed")
+	}
+}
+
+func TestParseMSRErrors(t *testing.T) {
+	cases := []string{
+		"1,h,0,Read,0\n",         // too few fields
+		"x,h,0,Read,0,4096,0\n",  // bad timestamp
+		"1,h,0,Erase,0,4096,0\n", // bad op
+		"1,h,0,Read,zz,4096,0\n", // bad offset
+		"1,h,0,Read,0,zz,0\n",    // bad size
+		"1,h,0,Read,0,0,0\n",     // zero size
+	}
+	for _, in := range cases {
+		if _, err := ParseMSR("bad", strings.NewReader(in)); err == nil {
+			t.Errorf("accepted %q", in)
+		}
+	}
+}
+
+func TestParseMSRSortsOutOfOrder(t *testing.T) {
+	in := "200,h,0,Read,0,512,0\n100,h,0,Write,512,512,0\n"
+	tr, err := ParseMSR("o", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("parsed trace invalid: %v", err)
+	}
+	if tr.Records[0].Op != OpWrite {
+		t.Error("records not sorted by time")
+	}
+}

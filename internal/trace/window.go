@@ -1,0 +1,59 @@
+package trace
+
+// Clip returns a new trace containing the records with Time in [from, to),
+// rebased so the first kept record starts at zero. Use it to replay a
+// window of a long real trace.
+func (t *Trace) Clip(from, to int64) *Trace {
+	out := &Trace{Name: t.Name}
+	var base int64
+	haveBase := false
+	for _, r := range t.Records {
+		if r.Time < from || r.Time >= to {
+			continue
+		}
+		if !haveBase {
+			base = r.Time
+			haveBase = true
+		}
+		r.Time -= base
+		out.Records = append(out.Records, r)
+	}
+	return out
+}
+
+// FilterOp returns a new trace containing only records of the given
+// operation type, preserving timestamps.
+func (t *Trace) FilterOp(op OpType) *Trace {
+	out := &Trace{Name: t.Name}
+	for _, r := range t.Records {
+		if r.Op == op {
+			out.Records = append(out.Records, r)
+		}
+	}
+	return out
+}
+
+// Head returns a new trace with at most n leading records.
+func (t *Trace) Head(n int) *Trace {
+	if n > len(t.Records) {
+		n = len(t.Records)
+	}
+	if n < 0 {
+		n = 0
+	}
+	out := &Trace{Name: t.Name, Records: make([]Record, n)}
+	copy(out.Records, t.Records[:n])
+	return out
+}
+
+// Scale returns a new trace with all timestamps multiplied by factor,
+// compressing (factor < 1) or stretching (factor > 1) the arrival process
+// to change the load intensity without altering the access pattern.
+func (t *Trace) Scale(factor float64) *Trace {
+	out := &Trace{Name: t.Name, Records: make([]Record, len(t.Records))}
+	copy(out.Records, t.Records)
+	for i := range out.Records {
+		out.Records[i].Time = int64(float64(out.Records[i].Time) * factor)
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestBurstyArrivalsMeanRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a, err := NewBurstyArrivals(rng, 200*time.Microsecond, 128, 50*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200000
+	var last int64
+	for i := 0; i < n; i++ {
+		last = a.Next()
+	}
+	meanUS := float64(last) / n / 1000
+	if math.Abs(meanUS-200) > 20 {
+		t.Errorf("long-run mean inter-arrival = %.1f us, want ~200", meanUS)
+	}
+}
+
+func TestBurstyArrivalsAreBursty(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	a, err := NewBurstyArrivals(rng, 200*time.Microsecond, 64, 20*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spacing := int64(20 * time.Microsecond)
+	short, long := 0, 0
+	prev := int64(0)
+	for i := 0; i < 100000; i++ {
+		now := a.Next()
+		if now-prev == spacing {
+			short++
+		} else {
+			long++
+		}
+		prev = now
+	}
+	// With mean burst length 64, ~63/64 of gaps are intra-burst.
+	frac := float64(short) / float64(short+long)
+	if frac < 0.95 || frac >= 1.0 {
+		t.Errorf("intra-burst fraction = %.3f, want ~0.984", frac)
+	}
+	// Idle gaps must dwarf the spacing on average.
+	meanGap := float64(prev) / float64(long)
+	if meanGap < 10*float64(spacing) {
+		t.Errorf("idle gaps too small: %.0f ns per cycle", meanGap)
+	}
+}
+
+func TestBurstyDegeneratesToPoissonAtLenOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a, err := NewBurstyArrivals(rng, 100*time.Microsecond, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spacingHits := 0
+	prev := int64(0)
+	for i := 0; i < 10000; i++ {
+		now := a.Next()
+		if now == prev {
+			spacingHits++
+		}
+		prev = now
+	}
+	if spacingHits > 100 {
+		t.Errorf("degenerate process produced %d zero gaps", spacingHits)
+	}
+}
+
+func TestBurstyArrivalsRejections(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	if _, err := NewBurstyArrivals(rng, 0, 4, 0); err == nil {
+		t.Error("zero mean accepted")
+	}
+	if _, err := NewBurstyArrivals(rng, time.Millisecond, 0.5, 0); err == nil {
+		t.Error("burst length < 1 accepted")
+	}
+	if _, err := NewBurstyArrivals(rng, time.Millisecond, 4, time.Millisecond); err == nil {
+		t.Error("spacing >= mean accepted")
+	}
+	if _, err := NewBurstyArrivals(rng, time.Millisecond, 4, -time.Microsecond); err == nil {
+		t.Error("negative spacing accepted")
+	}
+}
+
+func TestBurstyArrivalsMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a, _ := NewBurstyArrivals(rng, 200*time.Microsecond, 32, 10*time.Microsecond)
+	prev := int64(-1)
+	for i := 0; i < 50000; i++ {
+		now := a.Next()
+		if now < prev {
+			t.Fatal("arrivals must be non-decreasing")
+		}
+		prev = now
+	}
+}

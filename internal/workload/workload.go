@@ -1,0 +1,211 @@
+// Package workload provides the deterministic stochastic building blocks of
+// the synthetic trace generators: request-size sampling with the paper's
+// Table 1 bucket distribution, hot-extent pools with Zipf popularity, and
+// Poisson arrival processes.
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// KB is one kibibyte in bytes.
+const KB = 1024
+
+// SizeDist is the paper's Table 1 request-size bucket distribution:
+// fractions of requests in (0,4K], (4K,8K] and (8K, inf).
+type SizeDist struct {
+	Small, Medium, Large float64
+}
+
+// Validate checks the distribution sums to one. A tolerance of half a
+// percent absorbs published tables whose rounded percentages do not sum to
+// exactly 100 (the paper's wdev0 row sums to 100.1%).
+func (d SizeDist) Validate() error {
+	sum := d.Small + d.Medium + d.Large
+	if d.Small < 0 || d.Medium < 0 || d.Large < 0 {
+		return errors.New("workload: negative bucket fraction")
+	}
+	if sum < 0.995 || sum > 1.005 {
+		return fmt.Errorf("workload: bucket fractions sum to %.4f, want 1", sum)
+	}
+	return nil
+}
+
+// SizeSampler draws request sizes (bytes, multiples of 4 KiB) following a
+// SizeDist, with the large bucket shaped so the overall mean matches a
+// target average request size.
+type SizeSampler struct {
+	dist      SizeDist
+	largeMean float64 // mean of the large bucket in KB
+}
+
+// largeBucketMin/Max bound large-bucket samples (in KB).
+const (
+	largeBucketMin = 12
+	largeBucketMax = 256
+)
+
+// NewSizeSampler builds a sampler whose expected size is avgKB.
+// The small bucket is 4 KiB, the medium bucket 8 KiB, and the large bucket
+// is an exponential with mean chosen to hit avgKB overall.
+func NewSizeSampler(dist SizeDist, avgKB float64) (*SizeSampler, error) {
+	if err := dist.Validate(); err != nil {
+		return nil, err
+	}
+	if avgKB <= 0 {
+		return nil, fmt.Errorf("workload: avgKB %.2f must be positive", avgKB)
+	}
+	s := &SizeSampler{dist: dist}
+	if dist.Large > 0 {
+		s.largeMean = (avgKB - 4*dist.Small - 8*dist.Medium) / dist.Large
+		if s.largeMean < largeBucketMin {
+			s.largeMean = largeBucketMin
+		}
+		if s.largeMean > largeBucketMax {
+			s.largeMean = largeBucketMax
+		}
+	}
+	return s, nil
+}
+
+// LargeMeanKB returns the fitted mean of the large bucket in KB.
+func (s *SizeSampler) LargeMeanKB() float64 { return s.largeMean }
+
+// Sample draws one request size in bytes (a positive multiple of 4 KiB).
+func (s *SizeSampler) Sample(rng *rand.Rand) int {
+	u := rng.Float64()
+	switch {
+	case u < s.dist.Small:
+		return 4 * KB
+	case u < s.dist.Small+s.dist.Medium:
+		return 8 * KB
+	default:
+		// Exponential above the bucket floor, quantised to 4 KiB.
+		kb := float64(largeBucketMin) + rng.ExpFloat64()*(s.largeMean-largeBucketMin)
+		if kb > largeBucketMax {
+			kb = largeBucketMax
+		}
+		q := (int(kb) + 3) / 4 * 4
+		if q < largeBucketMin {
+			q = largeBucketMin
+		}
+		return q * KB
+	}
+}
+
+// Extent is a fixed address range repeatedly rewritten by hot traffic.
+type Extent struct {
+	Offset int64 // bytes
+	Size   int   // bytes
+}
+
+// ExtentPool is a set of hot extents with Zipf-skewed popularity: a few
+// extents absorb most of the hot traffic, as real update workloads do.
+type ExtentPool struct {
+	extents []Extent
+	zipf    *rand.Zipf
+}
+
+// zipfShift flattens the head of the popularity distribution: with
+// P(k) proportional to (zipfShift+k)^-s, the most popular extent takes a
+// few percent of the traffic rather than dominating it, which keeps the
+// request-weighted size distribution close to the extent-weighted one.
+const zipfShift = 16
+
+// NewExtentPool lays out n non-overlapping extents starting at base,
+// sampling each extent's size once from sizes. The Zipf skew parameter
+// s > 1 shapes popularity (s near 1 = mild skew).
+func NewExtentPool(rng *rand.Rand, n int, base int64, sizes *SizeSampler, s float64) (*ExtentPool, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: pool size %d must be positive", n)
+	}
+	if s <= 1 {
+		return nil, fmt.Errorf("workload: zipf s=%.2f must exceed 1", s)
+	}
+	p := &ExtentPool{extents: make([]Extent, n)}
+	off := base
+	for i := range p.extents {
+		size := sizes.Sample(rng)
+		p.extents[i] = Extent{Offset: off, Size: size}
+		off += int64(size)
+	}
+	p.zipf = rand.NewZipf(rng, s, zipfShift, uint64(n-1))
+	if p.zipf == nil {
+		return nil, errors.New("workload: zipf construction failed")
+	}
+	return p, nil
+}
+
+// Pick draws one extent with Zipf popularity.
+func (p *ExtentPool) Pick() Extent { return p.extents[p.zipf.Uint64()] }
+
+// Len returns the number of extents.
+func (p *ExtentPool) Len() int { return len(p.extents) }
+
+// End returns the first byte after the pool's address range.
+func (p *ExtentPool) End() int64 {
+	last := p.extents[len(p.extents)-1]
+	return last.Offset + int64(last.Size)
+}
+
+// Arrivals generates request arrival timestamps. With BurstLen <= 1 it is
+// a Poisson process: exponential inter-arrival times with a fixed mean.
+// With BurstLen > 1 it is an on/off burst process — geometrically sized
+// bursts of closely spaced requests separated by idle gaps — preserving
+// the configured mean rate. Enterprise block traces (MSR, VDI) are highly
+// bursty, and burstiness is what makes SLC-cache capacity matter: bursts
+// must be absorbed faster than garbage collection can replenish space.
+type Arrivals struct {
+	rng     *rand.Rand
+	mean    float64 // nanoseconds, long-run average inter-arrival
+	burstP  float64 // per-request probability of ending the burst
+	spacing int64   // intra-burst inter-arrival, nanoseconds
+	gapMean float64 // mean idle gap between bursts, nanoseconds
+	now     int64
+}
+
+// NewArrivals creates a Poisson process starting at time zero.
+func NewArrivals(rng *rand.Rand, mean time.Duration) (*Arrivals, error) {
+	return NewBurstyArrivals(rng, mean, 1, 0)
+}
+
+// NewBurstyArrivals creates an on/off process: bursts of geometrically
+// distributed length (mean burstLen) with spacing between requests inside
+// a burst, and exponential idle gaps sized so the long-run mean
+// inter-arrival equals mean. burstLen <= 1 degenerates to Poisson.
+func NewBurstyArrivals(rng *rand.Rand, mean time.Duration, burstLen float64, spacing time.Duration) (*Arrivals, error) {
+	if mean <= 0 {
+		return nil, fmt.Errorf("workload: mean inter-arrival %v must be positive", mean)
+	}
+	if burstLen < 1 {
+		return nil, fmt.Errorf("workload: burst length %.2f must be >= 1", burstLen)
+	}
+	if spacing < 0 || float64(spacing) >= float64(mean) {
+		return nil, fmt.Errorf("workload: burst spacing %v must be in [0, mean)", spacing)
+	}
+	a := &Arrivals{rng: rng, mean: float64(mean)}
+	if burstLen > 1 {
+		a.burstP = 1 / burstLen
+		a.spacing = int64(spacing)
+		// Each burst contributes (burstLen-1) spacings and one gap; the
+		// gap absorbs the rest of the burst's time budget.
+		a.gapMean = burstLen*float64(mean) - (burstLen-1)*float64(spacing)
+	}
+	return a, nil
+}
+
+// Next returns the next arrival timestamp in nanoseconds.
+func (a *Arrivals) Next() int64 {
+	switch {
+	case a.burstP == 0:
+		a.now += int64(a.rng.ExpFloat64() * a.mean)
+	case a.rng.Float64() < a.burstP:
+		a.now += int64(a.rng.ExpFloat64() * a.gapMean)
+	default:
+		a.now += a.spacing
+	}
+	return a.now
+}

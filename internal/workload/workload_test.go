@@ -1,0 +1,209 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestSizeDistValidate(t *testing.T) {
+	good := SizeDist{0.7, 0.2, 0.1}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []SizeDist{
+		{0.5, 0.2, 0.1},  // sums to 0.8
+		{0.9, 0.2, 0.1},  // sums to 1.2
+		{-0.1, 0.6, 0.5}, // negative
+	}
+	for _, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("accepted %+v", d)
+		}
+	}
+}
+
+func TestNewSizeSamplerRejections(t *testing.T) {
+	if _, err := NewSizeSampler(SizeDist{0.5, 0.2, 0.1}, 8); err == nil {
+		t.Error("invalid dist accepted")
+	}
+	if _, err := NewSizeSampler(SizeDist{0.7, 0.2, 0.1}, 0); err == nil {
+		t.Error("zero average accepted")
+	}
+}
+
+func TestSizeSamplerBuckets(t *testing.T) {
+	// ts0's Table 1 row: 69.8% / 17.9% / 12.3%, average 8.0 KB.
+	s, err := NewSizeSampler(SizeDist{0.698, 0.179, 0.123}, 8.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	const n = 200000
+	var small, medium, large, total int
+	for i := 0; i < n; i++ {
+		sz := s.Sample(rng)
+		if sz <= 0 || sz%(4*KB) != 0 {
+			t.Fatalf("bad size %d", sz)
+		}
+		switch {
+		case sz <= 4*KB:
+			small++
+		case sz <= 8*KB:
+			medium++
+		default:
+			large++
+		}
+		total += sz
+	}
+	check := func(name string, got int, want float64) {
+		frac := float64(got) / n
+		if math.Abs(frac-want) > 0.01 {
+			t.Errorf("%s fraction = %.3f, want %.3f", name, frac, want)
+		}
+	}
+	check("small", small, 0.698)
+	check("medium", medium, 0.179)
+	check("large", large, 0.123)
+	avgKB := float64(total) / n / KB
+	if math.Abs(avgKB-8.0) > 0.8 {
+		t.Errorf("average size = %.2f KB, want ~8.0", avgKB)
+	}
+}
+
+func TestSizeSamplerHeavyTail(t *testing.T) {
+	// lun2: 92.6/2.5/4.9 with 9.7 KB average forces a very heavy large
+	// bucket; the fitted mean must clamp inside the supported range.
+	s, err := NewSizeSampler(SizeDist{0.926, 0.025, 0.049}, 9.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.LargeMeanKB() < largeBucketMin || s.LargeMeanKB() > largeBucketMax {
+		t.Errorf("large mean %.1f KB out of range", s.LargeMeanKB())
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 10000; i++ {
+		if sz := s.Sample(rng); sz > largeBucketMax*KB {
+			t.Fatalf("sample %d exceeds clamp", sz)
+		}
+	}
+}
+
+func TestSizeSamplerNoLargeBucket(t *testing.T) {
+	s, err := NewSizeSampler(SizeDist{0.8, 0.2, 0}, 4.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		if sz := s.Sample(rng); sz > 8*KB {
+			t.Fatalf("large sample %d from empty large bucket", sz)
+		}
+	}
+}
+
+func TestExtentPoolLayout(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	sizes, _ := NewSizeSampler(SizeDist{0.7, 0.2, 0.1}, 8)
+	p, err := NewExtentPool(rng, 100, 4096, sizes, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 100 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	// Extents must be disjoint and within [base, End).
+	off := int64(4096)
+	for i := 0; i < 100; i++ {
+		e := p.extents[i]
+		if e.Offset != off {
+			t.Fatalf("extent %d at %d, want %d", i, e.Offset, off)
+		}
+		off += int64(e.Size)
+	}
+	if p.End() != off {
+		t.Errorf("End = %d, want %d", p.End(), off)
+	}
+}
+
+func TestExtentPoolSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	sizes, _ := NewSizeSampler(SizeDist{1, 0, 0}, 4)
+	p, err := NewExtentPool(rng, 50, 0, sizes, 1.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int64]int{}
+	for i := 0; i < 20000; i++ {
+		counts[p.Pick().Offset]++
+	}
+	// The most popular extent must draw well above the uniform share.
+	best := 0
+	for _, c := range counts {
+		if c > best {
+			best = c
+		}
+	}
+	if best < 20000/50*2 {
+		t.Errorf("top extent drew %d of 20000; Zipf skew missing", best)
+	}
+}
+
+func TestExtentPoolRejections(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	sizes, _ := NewSizeSampler(SizeDist{1, 0, 0}, 4)
+	if _, err := NewExtentPool(rng, 0, 0, sizes, 1.2); err == nil {
+		t.Error("zero-size pool accepted")
+	}
+	if _, err := NewExtentPool(rng, 10, 0, sizes, 1.0); err == nil {
+		t.Error("zipf s=1 accepted")
+	}
+}
+
+func TestArrivals(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a, err := NewArrivals(rng, 200*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := int64(0)
+	var sum int64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		now := a.Next()
+		if now < prev {
+			t.Fatal("arrivals must be non-decreasing")
+		}
+		sum += now - prev
+		prev = now
+	}
+	meanUS := float64(sum) / n / 1000
+	if math.Abs(meanUS-200) > 5 {
+		t.Errorf("mean inter-arrival = %.1f us, want ~200", meanUS)
+	}
+}
+
+func TestArrivalsRejectsBadMean(t *testing.T) {
+	if _, err := NewArrivals(rand.New(rand.NewSource(1)), 0); err == nil {
+		t.Error("zero mean accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	gen := func() []int {
+		rng := rand.New(rand.NewSource(99))
+		s, _ := NewSizeSampler(SizeDist{0.7, 0.2, 0.1}, 8)
+		out := make([]int, 100)
+		for i := range out {
+			out[i] = s.Sample(rng)
+		}
+		return out
+	}
+	a, b := gen(), gen()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must reproduce the same samples")
+		}
+	}
+}
