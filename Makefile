@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench experiments ablation sensitivity fuzz clean
+.PHONY: all build test vet race bench experiments ablation sensitivity fuzz fuzz-parse fuzz-replay golden clean
 
 all: build test
 
@@ -14,6 +14,16 @@ vet:
 
 test: vet
 	$(GO) test ./...
+
+# The matrix harness is the only concurrent code path; -race over the
+# internal packages covers it plus every shared-state regression.
+race:
+	$(GO) test -race ./internal/...
+
+# Re-accept the golden metric snapshots after an intentional behaviour
+# change (inspect the diff in the test failure first).
+golden:
+	$(GO) test ./internal/core -run Golden -update
 
 # Regenerate every table and figure of the paper (plus the P/E sweep).
 experiments:
@@ -30,8 +40,15 @@ sensitivity:
 bench:
 	$(GO) test -bench=. -benchmem
 
-fuzz:
+fuzz: fuzz-parse fuzz-replay
+
+fuzz-parse:
 	$(GO) test ./internal/trace -fuzz FuzzParseMSR -fuzztime 30s
+
+# Replays fuzzer-generated write/read/trim programs through each scheme
+# with the internal/check invariant harness attached.
+fuzz-replay:
+	$(GO) test ./internal/scheme -fuzz FuzzReplay -fuzztime 30s
 
 clean:
 	$(GO) clean ./...

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	ipusim [-scheme IPU] [-trace ts0 | -file trace.csv] [-scale 0.05]
-//	       [-seed 42] [-pe 4000] [-full] [-printconfig]
+//	       [-seed 42] [-pe 4000] [-full] [-printconfig] [-check full]
 //
 // -trace selects one of the six synthetic paper workloads; -file replays a
 // real trace in MSR-Cambridge CSV format instead.
@@ -18,6 +18,7 @@ import (
 	"os"
 	"time"
 
+	"ipusim/internal/check"
 	"ipusim/internal/core"
 	"ipusim/internal/flash"
 	"ipusim/internal/metrics"
@@ -38,15 +39,16 @@ func main() {
 		asJSON      = flag.Bool("json", false, "emit the result as JSON instead of a table")
 		qd          = flag.Int("qd", 0, "replay closed-loop at this queue depth (0 = open-loop trace replay)")
 		configPath  = flag.String("config", "", "load device/error configuration from a JSON file")
+		checkLevel  = flag.String("check", "", "invariant checking: off, shadow or full (slow; use for debugging, not benchmarks)")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *configPath, *schemeName, *traceName, *file, *scale, *seed, *pe, *qd, *full, *printConfig, *dist, *asJSON); err != nil {
+	if err := run(os.Stdout, *configPath, *schemeName, *traceName, *file, *checkLevel, *scale, *seed, *pe, *qd, *full, *printConfig, *dist, *asJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "ipusim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out io.Writer, configPath, schemeName, traceName, file string, scale float64, seed int64, pe, qd int, full, printConfig, dist, asJSON bool) error {
+func run(out io.Writer, configPath, schemeName, traceName, file, checkLevel string, scale float64, seed int64, pe, qd int, full, printConfig, dist, asJSON bool) error {
 	cfg := core.DefaultConfig()
 	if configPath != "" {
 		var err error
@@ -57,6 +59,13 @@ func run(out io.Writer, configPath, schemeName, traceName, file string, scale fl
 		if schemeName == "" {
 			schemeName = cfg.Scheme
 		}
+	}
+	if checkLevel != "" {
+		lvl, err := check.ParseLevel(checkLevel)
+		if err != nil {
+			return err
+		}
+		cfg.Check = lvl
 	}
 	if full {
 		cfg.Flash = flash.PaperConfig()

@@ -12,7 +12,7 @@ import (
 
 func TestRunPrintConfig(t *testing.T) {
 	var out strings.Builder
-	if err := run(&out, "", "IPU", "ts0", "", 0.01, 1, 0, 0, false, true, false, false); err != nil {
+	if err := run(&out, "", "IPU", "ts0", "", "", 0.01, 1, 0, 0, false, true, false, false); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"Table 2", "Block number", "SLC read time"} {
@@ -24,7 +24,7 @@ func TestRunPrintConfig(t *testing.T) {
 
 func TestRunSyntheticTrace(t *testing.T) {
 	var out strings.Builder
-	if err := run(&out, "", "Baseline", "ads", "", 0.002, 1, 0, 0, false, false, false, false); err != nil {
+	if err := run(&out, "", "Baseline", "ads", "", "", 0.002, 1, 0, 0, false, false, false, false); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"Baseline on ads", "avg latency", "read error rate", "SLC erases"} {
@@ -36,7 +36,7 @@ func TestRunSyntheticTrace(t *testing.T) {
 
 func TestRunPEOverride(t *testing.T) {
 	var out strings.Builder
-	if err := run(&out, "", "IPU", "ads", "", 0.002, 1, 8000, 0, false, false, false, false); err != nil {
+	if err := run(&out, "", "IPU", "ads", "", "", 0.002, 1, 8000, 0, false, false, false, false); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "P/E 8000") {
@@ -59,7 +59,7 @@ func TestRunTraceFile(t *testing.T) {
 	}
 	f.Close()
 	var out strings.Builder
-	if err := run(&out, "", "MGA", "", path, 0, 0, 0, 0, false, false, false, false); err != nil {
+	if err := run(&out, "", "MGA", "", path, "", 0, 0, 0, 0, false, false, false, false); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "MGA on") {
@@ -69,20 +69,20 @@ func TestRunTraceFile(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var out strings.Builder
-	if err := run(&out, "", "IPU", "nope", "", 0.01, 1, 0, 0, false, false, false, false); err == nil {
+	if err := run(&out, "", "IPU", "nope", "", "", 0.01, 1, 0, 0, false, false, false, false); err == nil {
 		t.Error("unknown trace accepted")
 	}
-	if err := run(&out, "", "Nope", "ts0", "", 0.01, 1, 0, 0, false, false, false, false); err == nil {
+	if err := run(&out, "", "Nope", "ts0", "", "", 0.01, 1, 0, 0, false, false, false, false); err == nil {
 		t.Error("unknown scheme accepted")
 	}
-	if err := run(&out, "", "IPU", "", "/does/not/exist.csv", 0, 0, 0, 0, false, false, false, false); err == nil {
+	if err := run(&out, "", "IPU", "", "/does/not/exist.csv", "", 0, 0, 0, 0, false, false, false, false); err == nil {
 		t.Error("missing file accepted")
 	}
 }
 
 func TestRunJSON(t *testing.T) {
 	var out strings.Builder
-	if err := run(&out, "", "IPU", "ads", "", 0.002, 1, 0, 0, false, false, false, true); err != nil {
+	if err := run(&out, "", "IPU", "ads", "", "", 0.002, 1, 0, 0, false, false, false, true); err != nil {
 		t.Fatal(err)
 	}
 	var res map[string]any
@@ -101,11 +101,24 @@ func jsonUnmarshal(s string, v any) error { return json.Unmarshal([]byte(s), v) 
 
 func TestRunClosedLoopFlag(t *testing.T) {
 	var out strings.Builder
-	if err := run(&out, "", "IPU", "ads", "", 0.002, 1, 0, 4, false, false, false, false); err != nil {
+	if err := run(&out, "", "IPU", "ads", "", "", 0.002, 1, 0, 4, false, false, false, false); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "IPU on ads") {
 		t.Error("closed-loop run missing report")
+	}
+}
+
+func TestRunCheckFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, "", "IPU", "ads", "", "full", 0.001, 1, 0, 0, false, false, false, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "IPU on ads") {
+		t.Error("checked run missing report")
+	}
+	if err := run(&out, "", "IPU", "ads", "", "paranoid", 0.001, 1, 0, 0, false, false, false, false); err == nil {
+		t.Error("unknown check level accepted")
 	}
 }
 
@@ -116,13 +129,13 @@ func TestRunWithConfigFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out strings.Builder
-	if err := run(&out, path, "", "ads", "", 0.002, 1, 0, 0, false, false, false, false); err != nil {
+	if err := run(&out, path, "", "ads", "", "", 0.002, 1, 0, 0, false, false, false, false); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "Baseline on ads") {
 		t.Errorf("config scheme not applied:\n%s", out.String())
 	}
-	if err := run(&out, "/missing.json", "", "ads", "", 0.002, 1, 0, 0, false, false, false, false); err == nil {
+	if err := run(&out, "/missing.json", "", "ads", "", "", 0.002, 1, 0, 0, false, false, false, false); err == nil {
 		t.Error("missing config accepted")
 	}
 }

@@ -1,0 +1,92 @@
+// Package golden pins headline metrics to snapshot files so behavioural
+// drift fails tier-1 tests with a readable diff. Snapshots live under the
+// calling package's testdata/golden/ directory; regenerate them with
+//
+//	go test ./... -run Golden -update
+//
+// The package is imported by test files only, so the -update flag never
+// leaks into production binaries.
+package golden
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden snapshot files instead of comparing")
+
+// Check marshals v to indented JSON and compares it against the snapshot
+// at path. With -update the snapshot is rewritten instead. A mismatch
+// fails the test with a line diff of the drifted counters.
+func Check(t testing.TB, path string, v any) {
+	t.Helper()
+	got, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatalf("golden: marshal %s: %v", path, err)
+	}
+	got = append(got, '\n')
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatalf("golden: %v", err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatalf("golden: %v", err)
+		}
+		t.Logf("golden: wrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden: missing snapshot %s (run go test -update to create it): %v", path, err)
+	}
+	if d := Diff(string(want), string(got)); d != "" {
+		t.Errorf("golden: %s drifted (run go test -update to accept):\n%s", path, d)
+	}
+}
+
+// Diff returns a unified-style line diff of want vs got, or "" when they
+// are identical. Output is capped so a wholly rewritten snapshot stays
+// readable.
+func Diff(want, got string) string {
+	if want == got {
+		return ""
+	}
+	wantLines := strings.Split(want, "\n")
+	gotLines := strings.Split(got, "\n")
+	n := len(wantLines)
+	if len(gotLines) > n {
+		n = len(gotLines)
+	}
+	var sb strings.Builder
+	const maxLines = 40
+	shown := 0
+	for i := 0; i < n; i++ {
+		var w, g string
+		if i < len(wantLines) {
+			w = wantLines[i]
+		}
+		if i < len(gotLines) {
+			g = gotLines[i]
+		}
+		if w == g {
+			continue
+		}
+		if shown >= maxLines {
+			fmt.Fprintf(&sb, "... (more differences elided)\n")
+			break
+		}
+		if i < len(wantLines) {
+			fmt.Fprintf(&sb, "line %d: -%s\n", i+1, w)
+		}
+		if i < len(gotLines) {
+			fmt.Fprintf(&sb, "line %d: +%s\n", i+1, g)
+		}
+		shown++
+	}
+	return sb.String()
+}

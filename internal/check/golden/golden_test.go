@@ -1,0 +1,53 @@
+package golden
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestDiff(t *testing.T) {
+	if d := Diff("a\nb\n", "a\nb\n"); d != "" {
+		t.Errorf("identical inputs produced a diff: %q", d)
+	}
+	d := Diff("a\nb\nc\n", "a\nX\nc\n")
+	if !strings.Contains(d, "line 2") || !strings.Contains(d, "-b") || !strings.Contains(d, "+X") {
+		t.Errorf("diff not readable: %q", d)
+	}
+	// Extra trailing lines on either side must show up too.
+	if d := Diff("a\n", "a\nb\n"); !strings.Contains(d, "+b") {
+		t.Errorf("added line missing from diff: %q", d)
+	}
+	if d := Diff("a\nb\n", "a\n"); !strings.Contains(d, "-b") {
+		t.Errorf("removed line missing from diff: %q", d)
+	}
+}
+
+func TestDiffCapsOutput(t *testing.T) {
+	var a, b strings.Builder
+	for i := 0; i < 100; i++ {
+		a.WriteString("same\n")
+		b.WriteString("diff\n")
+	}
+	d := Diff(a.String(), b.String())
+	if !strings.Contains(d, "elided") {
+		t.Errorf("long diff not elided: %d bytes", len(d))
+	}
+}
+
+func TestCheckRoundTrip(t *testing.T) {
+	type snap struct {
+		Name  string
+		Count int
+	}
+	path := filepath.Join(t.TempDir(), "snap.json")
+
+	// First run in update mode writes the file.
+	*update = true
+	defer func() { *update = false }()
+	Check(t, path, snap{Name: "x", Count: 3})
+
+	// Same value verifies clean against the snapshot.
+	*update = false
+	Check(t, path, snap{Name: "x", Count: 3})
+}

@@ -6,6 +6,8 @@ import (
 	"io"
 	"os"
 	"time"
+
+	"ipusim/internal/check"
 )
 
 // JSONDuration unmarshals either a Go duration string ("300us", "10ms") or
@@ -41,6 +43,9 @@ func (d JSONDuration) MarshalJSON() ([]byte, error) {
 // what it changes.
 type fileConfig struct {
 	Scheme string `json:"scheme,omitempty"`
+	// Check selects the invariant-checking level: "off", "shadow" or
+	// "full" (see internal/check). Absent means off.
+	Check string `json:"check,omitempty"`
 
 	Flash struct {
 		Channels               *int          `json:"channels,omitempty"`
@@ -97,6 +102,11 @@ func LoadConfig(r io.Reader) (Config, error) {
 	if fc.Scheme != "" {
 		cfg.Scheme = fc.Scheme
 	}
+	lvl, err := check.ParseLevel(fc.Check)
+	if err != nil {
+		return cfg, fmt.Errorf("core: config: %w", err)
+	}
+	cfg.Check = lvl
 
 	setInt := func(dst *int, src *int) {
 		if src != nil {

@@ -7,6 +7,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"ipusim/internal/check"
 )
 
 func TestLoadConfigDefaultsWhenEmpty(t *testing.T) {
@@ -75,6 +77,26 @@ func TestLoadConfigExplicitLogicalSpace(t *testing.T) {
 	}
 	if cfg.Flash.LogicalSubpages != 100000 {
 		t.Errorf("explicit logical space overridden: %d", cfg.Flash.LogicalSubpages)
+	}
+}
+
+func TestLoadConfigCheckLevel(t *testing.T) {
+	cfg, err := LoadConfig(strings.NewReader(`{"check": "full"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Check != check.Full {
+		t.Errorf("check level = %v, want full", cfg.Check)
+	}
+	cfg, err = LoadConfig(strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Check != check.Off {
+		t.Errorf("default check level = %v, want off", cfg.Check)
+	}
+	if _, err := LoadConfig(strings.NewReader(`{"check": "paranoid"}`)); err == nil {
+		t.Error("unknown check level accepted")
 	}
 }
 

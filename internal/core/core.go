@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"time"
 
+	"ipusim/internal/check"
 	"ipusim/internal/errmodel"
 	"ipusim/internal/flash"
 	"ipusim/internal/ftl"
@@ -27,6 +28,11 @@ type Config struct {
 	Error errmodel.Model
 	// Scheme selects the FTL: "Baseline", "MGA" or "IPU".
 	Scheme string
+	// Check attaches the internal/check invariant harness to the run.
+	// check.Off (the default) costs nothing; check.Shadow mirrors and
+	// verifies every host request; check.Full adds an O(device)
+	// structural sweep after every GC event. Keep it off for benchmarks.
+	Check check.Level
 }
 
 // DefaultConfig returns the scaled-down Table 2 geometry with the paper's
@@ -72,6 +78,7 @@ func New(cfg Config) (*Simulator, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.Device().AttachChecker(cfg.Check)
 	return &Simulator{cfg: cfg, scheme: s}, nil
 }
 
@@ -101,7 +108,20 @@ func (s *Simulator) Run(tr *trace.Trace) (*Result, error) {
 			s.scheme.Read(r.Time, r.Offset, r.Size)
 		}
 	}
+	if err := s.checkFinal(); err != nil {
+		return nil, err
+	}
 	return s.Result(tr.Name, len(tr.Records)), nil
+}
+
+// checkFinal runs the attached invariant checker's end-of-run sweep.
+func (s *Simulator) checkFinal() error {
+	if ck := s.scheme.Device().Check; ck != nil {
+		if err := ck.CheckFinal(); err != nil {
+			return fmt.Errorf("core: %s: %w", s.cfg.Scheme, err)
+		}
+	}
+	return nil
 }
 
 // RunClosedLoop replays a trace with a bounded number of outstanding
@@ -130,6 +150,9 @@ func (s *Simulator) RunClosedLoop(tr *trace.Trace, depth int) (*Result, error) {
 			end = s.scheme.Read(issue, r.Offset, r.Size)
 		}
 		ring[i%depth] = end
+	}
+	if err := s.checkFinal(); err != nil {
+		return nil, err
 	}
 	return s.Result(tr.Name, len(tr.Records)), nil
 }

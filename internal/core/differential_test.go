@@ -1,0 +1,88 @@
+package core
+
+import (
+	"testing"
+
+	"ipusim/internal/flash"
+	"ipusim/internal/trace"
+)
+
+// differentialFlash is a tight geometry: a small preconditioned MLC region
+// and an 8-block SLC cache, so a short trace churns both garbage
+// collectors in every scheme while the full harness sweeps after each.
+func differentialFlash() flash.Config {
+	c := flash.DefaultConfig()
+	c.Channels = 2
+	c.ChipsPerChannel = 2
+	c.Blocks = 64
+	c.SLCRatio = 0.125
+	c.SLCPagesPerBlock = 8
+	c.MLCPagesPerBlock = 16
+	c.LogicalSubpages = c.MLCSubpages() * 3 / 4
+	c.PreFillMLC = true
+	return c
+}
+
+func TestDifferentialSchemes(t *testing.T) {
+	got := DifferentialSchemes()
+	if len(got) != 7 {
+		t.Fatalf("schemes = %v, want 3 paper schemes + 4 IPU variants", got)
+	}
+	for i, want := range SchemeNames {
+		if got[i] != want {
+			t.Errorf("scheme %d = %s, want %s", i, got[i], want)
+		}
+	}
+}
+
+// TestRunDifferential replays one trace through every scheme and variant
+// under the full invariant harness and asserts they conserved identical
+// logical state: a placement or GC bug that loses or cross-wires even one
+// LSN in any scheme fails this test.
+func TestRunDifferential(t *testing.T) {
+	tr, err := trace.Generate(trace.Profiles["ts0"], 11, 0.002)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := differentialFlash()
+	res, err := RunDifferential(tr, nil, &fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != len(DifferentialSchemes()) {
+		t.Fatalf("results = %d, want %d", len(res), len(DifferentialSchemes()))
+	}
+	for _, r := range res {
+		if r.Requests != len(tr.Records) {
+			t.Errorf("%s replayed %d of %d requests", r.Scheme, r.Requests, len(tr.Records))
+		}
+	}
+}
+
+// TestRunDifferentialSubset runs an explicit two-scheme comparison, the
+// shape a bisecting debug session would use.
+func TestRunDifferentialSubset(t *testing.T) {
+	tr, err := trace.Generate(trace.Profiles["wdev0"], 3, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := differentialFlash()
+	res, err := RunDifferential(tr, []string{"Baseline", "IPU"}, &fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 || res[0].Scheme != "Baseline" || res[1].Scheme != "IPU" {
+		t.Fatalf("unexpected results: %+v", res)
+	}
+}
+
+func TestRunDifferentialUnknownScheme(t *testing.T) {
+	tr, err := trace.Generate(trace.Profiles["ts0"], 1, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := differentialFlash()
+	if _, err := RunDifferential(tr, []string{"NoSuchFTL"}, &fc); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+}

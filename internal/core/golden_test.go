@@ -1,0 +1,42 @@
+package core
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"ipusim/internal/check/golden"
+)
+
+// TestGoldenMetrics pins the full report of two traces across all three
+// schemes to snapshot files. Any behavioural drift — a changed GC decision,
+// a latency model tweak, an accounting fix — fails here with a line diff.
+// Accept intentional changes with:
+//
+//	go test ./internal/core -run Golden -update
+func TestGoldenMetrics(t *testing.T) {
+	fc := smallFlash()
+	res, err := RunMatrix(MatrixSpec{
+		Traces:  []string{"ts0", "wdev0"},
+		Schemes: SchemeNames,
+		Scale:   0.003,
+		Flash:   &fc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 6 {
+		t.Fatalf("results = %d, want 6", len(res))
+	}
+	for _, r := range res {
+		r := r
+		t.Run(fmt.Sprintf("%s-%s", r.Trace, r.Scheme), func(t *testing.T) {
+			snap := *r
+			// GCScanNS is wall-clock host time (Fig. 12); everything else
+			// is simulated and must reproduce exactly.
+			snap.GCScanNS = 0
+			path := filepath.Join("testdata", "golden", fmt.Sprintf("%s-%s.json", r.Trace, r.Scheme))
+			golden.Check(t, path, &snap)
+		})
+	}
+}

@@ -47,6 +47,7 @@ func (b *Baseline) Write(now int64, offset int64, size int) int64 {
 		}
 	}
 	d.MaybeGCSLC(now, GreedyVictim, MoveFlushAll)
+	d.NoteHostWrite(now, offset, size)
 	d.RecordWrite(now, end)
 	return end
 }

@@ -1,0 +1,125 @@
+package scheme
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ipusim/internal/check"
+)
+
+// driveChecked replays a mixed write/read/trim workload against one scheme
+// with the invariant harness attached, returning the device for follow-up
+// assertions. The checker panics through must on any violation, so merely
+// surviving the loop exercises every per-request and per-GC check.
+func driveChecked(t *testing.T, s Scheme, ops int, seed int64) *Device {
+	t.Helper()
+	d := s.Device()
+	d.AttachChecker(check.Full)
+	span := int64(d.Cfg.LogicalSubpages) * 4096
+	rng := rand.New(rand.NewSource(seed))
+	now := int64(0)
+	for i := 0; i < ops; i++ {
+		now += 300_000
+		off := rng.Int63n(span / 4096 * 4096)
+		off -= off % 4096
+		size := []int{4096, 8192, 16384, 32768}[rng.Intn(4)]
+		switch p := rng.Intn(100); {
+		case p < 60:
+			s.Write(now, off, size)
+		case p < 90:
+			s.Read(now, off, size)
+		default:
+			d.Trim(now, off, size)
+		}
+	}
+	return d
+}
+
+// TestCheckedReplayAllSchemes runs every scheme and IPU variant under the
+// full harness on a preconditioned device with MLC pressure: shadow-store
+// read checks, structural sweeps after each GC, and the end-of-run sweep.
+func TestCheckedReplayAllSchemes(t *testing.T) {
+	for _, s := range allSchemes(t, stressConfig()) {
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			d := driveChecked(t, s, 2500, 7)
+			if err := d.Check.CheckFinal(); err != nil {
+				t.Fatal(err)
+			}
+			if d.Check.Sweeps == 0 {
+				t.Error("no structural sweeps ran; GC never fired under pressure?")
+			}
+			if d.Check.ReadsChecked == 0 {
+				t.Error("no reads were checked")
+			}
+			if s.Metrics().HostTrims == 0 {
+				t.Error("workload issued no trims")
+			}
+		})
+	}
+}
+
+// TestCheckerCatchesInjectedMappingBug corrupts the translation map mid-run
+// through the test hook — the kind of cross-wiring a placement bug would
+// cause — and asserts the harness refuses the very next read of the LSN.
+func TestCheckerCatchesInjectedMappingBug(t *testing.T) {
+	for _, name := range schemeNames {
+		t.Run(name, func(t *testing.T) {
+			s := newScheme(t, name, stressConfig())
+			d := s.Device()
+			d.AttachChecker(check.Shadow)
+			// Warm up legitimately so LSNs 0 and 1 have live versions.
+			now := int64(0)
+			for i := 0; i < 50; i++ {
+				now += 300_000
+				s.Write(now, int64(i%8)*4096, 8192)
+			}
+			armed := false
+			d.TestHooks.AfterHostWrite = func(d *Device, now int64) {
+				if armed {
+					return
+				}
+				armed = true
+				// LSN 0 now silently points at LSN 1's copy.
+				d.Map.Set(0, d.Map.Get(1))
+			}
+			now += 300_000
+			s.Write(now, 64*4096, 4096) // fires the hook
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatal("read of the corrupted LSN passed the checker")
+				}
+				if msg := fmt.Sprint(r); !strings.Contains(msg, "check") {
+					t.Fatalf("panic is not a checker violation: %v", msg)
+				}
+			}()
+			s.Read(now+300_000, 0, 4096)
+		})
+	}
+}
+
+// TestCheckFinalCatchesInjectedCorruption verifies the end-of-run sweep
+// alone (no read needed) reports an injected lost mapping as an error.
+func TestCheckFinalCatchesInjectedCorruption(t *testing.T) {
+	s := newScheme(t, "IPU", stressConfig())
+	d := s.Device()
+	d.AttachChecker(check.Shadow)
+	now := int64(0)
+	for i := 0; i < 50; i++ {
+		now += 300_000
+		s.Write(now, int64(i%8)*4096, 8192)
+	}
+	// Drop LSN 3's mapping without invalidating its flash copy: the sweep
+	// must flag the lost write (and the orphaned valid subpage).
+	d.Map.Unmap(3)
+	err := d.Check.CheckFinal()
+	if err == nil {
+		t.Fatal("CheckFinal accepted a lost mapping")
+	}
+	if !strings.Contains(err.Error(), "lost") && !strings.Contains(err.Error(), "valid") {
+		t.Errorf("unhelpful violation message: %v", err)
+	}
+}

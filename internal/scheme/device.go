@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"ipusim/internal/check"
 	"ipusim/internal/errmodel"
 	"ipusim/internal/flash"
 	"ipusim/internal/ftl"
@@ -51,6 +52,22 @@ type Device struct {
 	// Occupancy gauges for the Fig. 11 memory model.
 	slcValidSub       int64 // valid subpages resident in SLC
 	slcPagesWithValid int64 // SLC pages holding at least one valid subpage
+
+	// Check, when non-nil, is the attached invariant checker: host writes,
+	// trims and reads are mirrored into its shadow store, and every GC
+	// event triggers a structural sweep (at check.Full). Violations panic
+	// through must — a checker failure is a simulator bug, never a
+	// workload condition.
+	Check *check.Checker
+
+	// TestHooks are test-only fault-injection points; production code
+	// must leave them nil.
+	TestHooks struct {
+		// AfterHostWrite runs after a host write completed and was noted
+		// in the checker. Tests use it to corrupt state mid-run and
+		// assert the harness catches the damage.
+		AfterHostWrite func(d *Device, now int64)
+	}
 }
 
 // perform schedules one flash operation, routing it to the background
@@ -148,6 +165,54 @@ func must(err error) {
 	if err != nil {
 		panic(fmt.Sprintf("scheme: internal invariant violated: %v", err))
 	}
+}
+
+// AttachChecker wires an invariant checker of the given level to the
+// device. check.Off detaches. Attach before replaying any request: the
+// shadow store must observe every host write.
+func (d *Device) AttachChecker(level check.Level) {
+	if level == check.Off {
+		d.Check = nil
+		return
+	}
+	d.Check = check.New(level, d.Cfg, d.Arr, d.Map, d.Cfg.PreFillMLC)
+}
+
+// NoteHostWrite mirrors one completed host write into the attached
+// checker's shadow store and runs the test fault-injection hook. Schemes
+// call it once per Write request.
+func (d *Device) NoteHostWrite(now int64, offset int64, size int) {
+	if d.Check != nil {
+		d.Check.NoteWrite(now, d.LSNRange(offset, size))
+	}
+	if h := d.TestHooks.AfterHostWrite; h != nil {
+		h(d, now)
+	}
+}
+
+// Trim services a host discard: every covered logical subpage's current
+// version is invalidated and unmapped. Trim is a metadata-only command —
+// it costs no flash operation and completes immediately.
+func (d *Device) Trim(now int64, offset int64, size int) int64 {
+	lsns := d.LSNRange(offset, size)
+	for _, l := range lsns {
+		d.invalidate(l)
+	}
+	d.Met.HostTrims++
+	if d.Check != nil {
+		d.Check.NoteTrim(lsns)
+	}
+	return now
+}
+
+// afterGC runs the attached checker's structural sweep and gauge
+// comparison after a garbage-collection event.
+func (d *Device) afterGC(now int64, event string) {
+	if d.Check == nil {
+		return
+	}
+	must(d.Check.CheckEvent(now, event))
+	must(d.Check.CheckSLCGauges(d.slcFreePages, d.slcValidSub, d.slcPagesWithValid))
 }
 
 // SLCFreePages returns the free-page count the GC trigger watches.
@@ -454,6 +519,7 @@ func (d *Device) ensureMLCSpace(now int64) {
 		d.blockReadyAt[v] = d.Eng.ChipAvailableAt(d.Arr.ChipOf(v))
 		_ = freeBefore
 		d.mlcFree = append(d.mlcFree, v)
+		d.afterGC(now, "mlc-gc")
 	}
 }
 
@@ -587,6 +653,9 @@ func (d *Device) cellReadTime(mode flash.Mode) time.Duration {
 // completion time and records latency and BER metrics.
 func (d *Device) ReadReq(now int64, offset int64, size int) int64 {
 	lsns := d.LSNRange(offset, size)
+	if d.Check != nil {
+		must(d.Check.CheckRead(now, lsns))
+	}
 	slots := d.Cfg.SlotsPerPage()
 
 	type group struct {

@@ -68,6 +68,7 @@ func (d *Device) MaybeGCSLC(now int64, selectVictim VictimSelector, move MoveVal
 		d.blockReadyAt[v] = d.Eng.ChipAvailableAt(d.Arr.ChipOf(v))
 		d.slcFreePages += len(b.Pages) - freeBefore
 		d.slcFree = append(d.slcFree, v)
+		d.afterGC(now, "slc-gc")
 	}
 }
 

@@ -190,6 +190,7 @@ func (u *IPU) Write(now int64, offset int64, size int) int64 {
 		selectVictim = GreedyVictim
 	}
 	d.MaybeGCSLC(now, u.victim(selectVictim), MoveIPU)
+	d.NoteHostWrite(now, offset, size)
 	d.RecordWrite(now, end)
 	return end
 }

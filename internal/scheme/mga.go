@@ -130,6 +130,7 @@ func (m *MGA) Write(now int64, offset int64, size int) int64 {
 		}
 	}
 	d.MaybeGCSLC(now, m.victim, MoveFlushAll)
+	d.NoteHostWrite(now, offset, size)
 	d.RecordWrite(now, end)
 	return end
 }

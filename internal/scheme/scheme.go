@@ -81,6 +81,9 @@ type Metrics struct {
 	// HostWritesToMLC counts host write chunks that bypassed the SLC cache
 	// because it could not make room.
 	HostWritesToMLC int64
+
+	// HostTrims counts host discard commands serviced by Device.Trim.
+	HostTrims int64
 }
 
 // PageUtilization returns the Fig. 9 metric: used subpages over total
