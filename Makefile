@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench experiments ablation sensitivity fuzz fuzz-parse fuzz-replay golden clean
+.PHONY: all build test vet race bench bench-json bench-baseline bench-check experiments ablation sensitivity fuzz fuzz-parse fuzz-replay golden clean
 
 all: build test
 
@@ -39,6 +39,31 @@ sensitivity:
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Run the fixed-work benchmark suite across every layer and record it as
+# JSON: raw output in bench/latest.txt, parsed record in BENCH_<n>.json at
+# the first free index (BENCH_0.json is this repo's committed baseline).
+bench-json:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 200ms ./... | tee bench/latest.txt
+	n=0; while [ -e BENCH_$$n.json ]; do n=$$((n+1)); done; \
+	  $(GO) run ./cmd/benchjson -o BENCH_$$n.json < bench/latest.txt && \
+	  echo "wrote BENCH_$$n.json"
+
+# Re-record the committed benchmark baseline after an intentional
+# performance change. Run on a quiet machine; -count 6 gives benchstat a
+# distribution per benchmark.
+bench-baseline:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 200ms -count 6 ./... | tee bench/baseline.txt
+	$(GO) run ./cmd/benchjson -o bench/baseline.json < bench/baseline.txt
+
+# The CI regression gate, runnable locally: rerun the suite and compare
+# against the committed baseline. Allocation counts are gated tightly
+# (deterministic); wall time loosely (hardware varies).
+bench-check:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 100ms ./... | tee bench/current.txt
+	$(GO) run ./cmd/benchjson -o bench/current.json < bench/current.txt
+	$(GO) run ./cmd/benchjson -compare -time-threshold 2.0 -space-threshold 0.15 \
+	  bench/baseline.json bench/current.json
 
 fuzz: fuzz-parse fuzz-replay
 

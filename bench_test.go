@@ -219,6 +219,34 @@ func timeLabel(prefix string, pe int) string {
 	}
 }
 
+// BenchmarkMatrix measures one full evaluation matrix — two traces across
+// all three schemes, device construction included — the unit of work
+// cmd/experiments repeats at larger scales. This is the headline number of
+// the bench-regression suite: requests/s across the whole matrix.
+func BenchmarkMatrix(b *testing.B) {
+	var reqs int
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		res, err := core.RunMatrix(core.MatrixSpec{
+			Traces:  []string{"ts0", "wdev0"},
+			Schemes: []string{"Baseline", "MGA", "IPU"},
+			Scale:   benchScale,
+			Seed:    benchSeed,
+			Flash:   benchFlash(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res) != 6 {
+			b.Fatalf("results = %d, want 6", len(res))
+		}
+		for _, r := range res {
+			reqs += r.Requests
+		}
+	}
+	b.ReportMetric(float64(reqs)/time.Since(start).Seconds(), "requests/s")
+}
+
 // BenchmarkSimulatorThroughput measures raw replay speed: simulated
 // requests processed per wall-clock second for the IPU scheme.
 func BenchmarkSimulatorThroughput(b *testing.B) {

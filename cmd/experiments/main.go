@@ -7,6 +7,7 @@
 //
 //	experiments [-scale 0.05] [-seed 42] [-traces ts0,ads] [-schemes IPU]
 //	            [-pesweep] [-ablate] [-full] [-workers N]
+//	            [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // -pesweep additionally runs the Fig. 13/14 endurance sweep (4 P/E
 // levels). -ablate runs the IPU design-choice ablation (ISR victim policy,
@@ -20,6 +21,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -42,9 +45,42 @@ func main() {
 		csvdir  = flag.String("csvdir", "", "also write every table as CSV into this directory")
 		full    = flag.Bool("full", false, "use the paper's full Table 2 geometry")
 		workers = flag.Int("workers", 0, "parallel simulations (default GOMAXPROCS)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *scale, *seed, *traces, *schemes, *pesweep, *ablate, *sens, *csvdir, *repl, *full, *workers); err != nil {
+	stopCPU := func() {}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		stopCPU = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+	err := run(os.Stdout, *scale, *seed, *traces, *schemes, *pesweep, *ablate, *sens, *csvdir, *repl, *full, *workers)
+	stopCPU()
+	if *memProf != "" {
+		f, ferr := os.Create(*memProf)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", ferr)
+			os.Exit(1)
+		}
+		runtime.GC() // report live heap, not transient garbage
+		if werr := pprof.WriteHeapProfile(f); werr != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", werr)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}

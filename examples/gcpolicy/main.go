@@ -75,9 +75,8 @@ func main() {
 		shown++
 	}
 
-	exclude := func(int) bool { return false }
-	greedy := scheme.GreedyVictim(dev, now, exclude)
-	isr := scheme.ISRVictim(dev, now, exclude)
+	greedy := scheme.GreedyVictim(dev, now, nil)
+	isr := scheme.ISRVictim(dev, now, nil)
 	describe := func(id int) string {
 		b := dev.Arr.Block(id)
 		return fmt.Sprintf("block %d (%s: %d valid, %d invalid)", id, b.Level, b.ValidSub, b.InvalidSub)

@@ -7,13 +7,12 @@ import (
 	"ipusim/internal/trace"
 )
 
-// canonical marshals a result for byte-comparison, zeroing the one
-// wall-clock field: GCScanNS measures host CPU time for Fig. 12, so it is
-// the only quantity allowed to vary between identical runs.
+// canonical marshals a result for byte-comparison. Every field — including
+// GCScanNS, which is driven by the engine's deterministic scan clock rather
+// than the wall clock — must reproduce exactly between identical runs.
 func canonical(t *testing.T, r *Result) string {
 	t.Helper()
 	c := *r
-	c.GCScanNS = 0
 	b, err := json.Marshal(&c)
 	if err != nil {
 		t.Fatal(err)

@@ -32,9 +32,6 @@ func TestGoldenMetrics(t *testing.T) {
 		r := r
 		t.Run(fmt.Sprintf("%s-%s", r.Trace, r.Scheme), func(t *testing.T) {
 			snap := *r
-			// GCScanNS is wall-clock host time (Fig. 12); everything else
-			// is simulated and must reproduce exactly.
-			snap.GCScanNS = 0
 			path := filepath.Join("testdata", "golden", fmt.Sprintf("%s-%s.json", r.Trace, r.Scheme))
 			golden.Check(t, path, &snap)
 		})

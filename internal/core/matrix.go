@@ -52,29 +52,56 @@ func (m *MatrixSpec) normalize() {
 	}
 }
 
-// RunMatrix executes every (trace, scheme, P/E) combination of the spec,
-// fanning the independent simulations across a bounded worker pool. Each
-// trace is synthesised once per P/E level and shared read-only by the
-// scheme runs. Results come back sorted by (trace order, P/E, scheme
-// order), independent of scheduling.
+// traceKey identifies one synthesised trace. Generation is deterministic
+// per key, so the result can be cached and shared read-only.
+type traceKey struct {
+	name  string
+	seed  int64
+	scale float64
+}
+
+// traceCache memoises trace synthesis across RunMatrix calls. Sweeps
+// (sensitivity, replicate, benchmark loops) call RunMatrix many times with
+// the same (name, seed, scale) tuples; traces are immutable once built, so
+// regenerating them per call is pure waste.
+var traceCache sync.Map // traceKey -> *trace.Trace
+
+// cachedTrace returns the synthesised trace for a profile, generating and
+// caching it on first use.
+func cachedTrace(name string, seed int64, scale float64) (*trace.Trace, error) {
+	key := traceKey{name, seed, scale}
+	if tr, ok := traceCache.Load(key); ok {
+		return tr.(*trace.Trace), nil
+	}
+	p, ok := trace.Profiles[name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown trace profile %q", name)
+	}
+	tr, err := trace.Generate(p, seed, scale)
+	if err != nil {
+		return nil, err
+	}
+	actual, _ := traceCache.LoadOrStore(key, tr)
+	return actual.(*trace.Trace), nil
+}
+
+// RunMatrix executes every (trace, scheme, P/E) combination of the spec on
+// a fixed pool of spec.Workers goroutines. Each trace is synthesised at
+// most once per (name, seed, scale) — cached across calls — and shared
+// read-only by the scheme runs. Results come back sorted by (trace order,
+// P/E, scheme order), independent of scheduling.
 func RunMatrix(spec MatrixSpec) ([]*Result, error) {
 	spec.normalize()
 
 	type job struct {
-		traceIdx, peIdx, schemeIdx int
-		tr                         *trace.Trace
-		pe                         int
+		schemeIdx int
+		tr        *trace.Trace
+		pe        int
 	}
 
-	// Synthesise traces up front (one per name; P/E does not change the
-	// workload, only the device age).
 	traces := make([]*trace.Trace, len(spec.Traces))
 	for i, name := range spec.Traces {
-		p, ok := trace.Profiles[name]
-		if !ok {
-			return nil, fmt.Errorf("core: unknown trace profile %q", name)
-		}
-		tr, err := trace.Generate(p, spec.Seed, spec.Scale)
+		tr, err := cachedTrace(name, spec.Seed, spec.Scale)
 		if err != nil {
 			return nil, err
 		}
@@ -83,45 +110,58 @@ func RunMatrix(spec MatrixSpec) ([]*Result, error) {
 
 	var jobs []job
 	for ti := range spec.Traces {
-		for pi, pe := range spec.PEBaselines {
+		for _, pe := range spec.PEBaselines {
 			for si := range spec.Schemes {
-				jobs = append(jobs, job{traceIdx: ti, peIdx: pi, schemeIdx: si, tr: traces[ti], pe: pe})
+				jobs = append(jobs, job{schemeIdx: si, tr: traces[ti], pe: pe})
 			}
 		}
 	}
 
 	results := make([]*Result, len(jobs))
 	errs := make([]error, len(jobs))
-	sem := make(chan struct{}, spec.Workers)
-	var wg sync.WaitGroup
-	for i, j := range jobs {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int, j job) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			cfg := DefaultConfig()
-			if spec.Flash != nil {
-				cfg.Flash = *spec.Flash
-			}
-			if j.pe > 0 {
-				cfg.Flash.PEBaseline = j.pe
-			}
-			cfg.Scheme = spec.Schemes[j.schemeIdx]
-			sim, err := New(cfg)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			res, err := sim.Run(j.tr)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			res.PEBaseline = cfg.Flash.PEBaseline
-			results[i] = res
-		}(i, j)
+	run := func(i int) {
+		j := jobs[i]
+		cfg := DefaultConfig()
+		if spec.Flash != nil {
+			cfg.Flash = *spec.Flash
+		}
+		if j.pe > 0 {
+			cfg.Flash.PEBaseline = j.pe
+		}
+		cfg.Scheme = spec.Schemes[j.schemeIdx]
+		sim, err := New(cfg)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		res, err := sim.Run(j.tr)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		res.PEBaseline = cfg.Flash.PEBaseline
+		results[i] = res
 	}
+
+	workers := spec.Workers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				run(i)
+			}
+		}()
+	}
+	for i := range jobs {
+		next <- i
+	}
+	close(next)
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {

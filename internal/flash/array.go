@@ -32,6 +32,20 @@ type Array struct {
 	SLCPrograms, MLCPrograms int64
 	// PartialPrograms counts partial (second or later) program operations.
 	PartialPrograms int64
+
+	// SLCJCount / SLCJSumWT aggregate every SLC block's J set (Eq. 2)
+	// array-wide, so ISR victim selection derives the cache-wide mean age T
+	// in O(1) instead of re-walking every block per GC trigger. Maintained
+	// alongside the per-block JCount/JSumWT in ProgramPage, Invalidate and
+	// Erase.
+	SLCJCount int64
+	SLCJSumWT int64
+
+	// slcUsed is a bitset over the SLC block IDs (which occupy [0,
+	// SLCBlocks)): a bit is set while its block has been programmed since
+	// the last erase. This is the candidate set GC victim selection
+	// iterates, replacing full scans over SLCBlockIDs.
+	slcUsed []uint64
 }
 
 // NewArray builds the array described by cfg. cfg must validate.
@@ -42,6 +56,7 @@ func NewArray(cfg *Config) (*Array, error) {
 	a := &Array{cfg: cfg, blocks: make([]Block, cfg.Blocks)}
 	slots := cfg.SlotsPerPage()
 	nSLC := cfg.SLCBlocks()
+	a.slcUsed = make([]uint64, (nSLC+63)/64)
 	for id := range a.blocks {
 		b := &a.blocks[id]
 		b.ID = id
@@ -151,6 +166,10 @@ func (a *Array) ProgramPage(blockID, pageIdx int, writes []SlotWrite, now int64)
 	case 0:
 		b.JCount += written
 		b.JSumWT += now * int64(written)
+		if b.Mode == ModeSLC {
+			a.SLCJCount += int64(written)
+			a.SLCJSumWT += now * int64(written)
+		}
 	case 1:
 		justWritten := 0
 		for _, w := range writes {
@@ -160,11 +179,18 @@ func (a *Array) ProgramPage(blockID, pageIdx int, writes []SlotWrite, now int64)
 			if justWritten&(1<<i) == 0 && pg.Slots[i].State == SubValid {
 				b.JCount--
 				b.JSumWT -= pg.Slots[i].WriteTime
+				if b.Mode == ModeSLC {
+					a.SLCJCount--
+					a.SLCJSumWT -= pg.Slots[i].WriteTime
+				}
 			}
 		}
 	}
 	pg.ProgramCount++
 	b.ProgramOps++
+	if b.Mode == ModeSLC && b.ProgramOps == 1 {
+		a.slcUsed[blockID>>6] |= 1 << (blockID & 63)
+	}
 	b.ValidSub += written
 	if b.Mode == ModeSLC {
 		a.SLCPrograms++
@@ -241,6 +267,10 @@ func (a *Array) Invalidate(ppa PPA) error {
 	if pg.ProgramCount <= 1 {
 		b.JCount--
 		b.JSumWT -= s.WriteTime
+		if b.Mode == ModeSLC {
+			a.SLCJCount--
+			a.SLCJSumWT -= s.WriteTime
+		}
 	}
 	return nil
 }
@@ -265,19 +295,28 @@ func (a *Array) Erase(blockID int) error {
 	b.DeadSub = 0
 	b.ProgramOps = 0
 	b.PartialOps = 0
-	b.JCount = 0
-	b.JSumWT = 0
 	if b.Mode == ModeSLC {
+		a.SLCJCount -= int64(b.JCount)
+		a.SLCJSumWT -= b.JSumWT
+		a.slcUsed[blockID>>6] &^= 1 << (blockID & 63)
 		a.SLCErases++
 	} else {
 		a.MLCErases++
 	}
+	b.JCount = 0
+	b.JSumWT = 0
 	return nil
 }
+
+// UsedSLCWords exposes the used-block bitset for victim-selection scans:
+// bit i of word w is set while SLC block w*64+i holds programmed data.
+// Callers must treat the slice as read-only.
+func (a *Array) UsedSLCWords() []uint64 { return a.slcUsed }
 
 // CheckInvariants walks the array verifying that cached counters match slot
 // states. It is O(device size) and intended for tests.
 func (a *Array) CheckInvariants() error {
+	var slcJCount, slcJSum int64
 	for id := range a.blocks {
 		b := &a.blocks[id]
 		var valid, invalid, dead int
@@ -296,6 +335,14 @@ func (a *Array) CheckInvariants() error {
 		if jCount != b.JCount || jSum != b.JSumWT {
 			return fmt.Errorf("block %d J aggregates: have (%d,%d) want (%d,%d)",
 				id, b.JCount, b.JSumWT, jCount, jSum)
+		}
+		if b.Mode == ModeSLC {
+			slcJCount += int64(jCount)
+			slcJSum += jSum
+			used := a.slcUsed[id>>6]&(1<<(id&63)) != 0
+			if used != (b.ProgramOps > 0) {
+				return fmt.Errorf("block %d used bit %v but ProgramOps=%d", id, used, b.ProgramOps)
+			}
 		}
 		for p := range b.Pages {
 			pg := &b.Pages[p]
@@ -339,6 +386,10 @@ func (a *Array) CheckInvariants() error {
 			return fmt.Errorf("block %d counters: have (v%d,i%d,d%d) want (v%d,i%d,d%d)",
 				id, b.ValidSub, b.InvalidSub, b.DeadSub, valid, invalid, dead)
 		}
+	}
+	if slcJCount != a.SLCJCount || slcJSum != a.SLCJSumWT {
+		return fmt.Errorf("array SLC J aggregates: have (%d,%d) want (%d,%d)",
+			a.SLCJCount, a.SLCJSumWT, slcJCount, slcJSum)
 	}
 	return nil
 }

@@ -53,6 +53,29 @@ type Device struct {
 	slcValidSub       int64 // valid subpages resident in SLC
 	slcPagesWithValid int64 // SLC pages holding at least one valid subpage
 
+	// Reusable hot-path scratch, so steady-state Write/Read requests and
+	// GC victims allocate nothing. The fixed-size buffers are bounded by
+	// flash.Config.Validate's SlotsPerPage() <= 8 cap.
+	lsnBuf   []flash.LSN   // LSNRange result, reused per request
+	chunkBuf [][]flash.LSN // Chunks result: views into lsnBuf
+	writes   [8]flash.SlotWrite
+	gather   [8]flash.LSN
+	deadBuf  [8]int
+
+	// GC scratch: the reusable exclusion set, the frame collectors of the
+	// two movement paths (separate instances because SLC movement nests
+	// MLC GC), and MoveIPU's per-page frame groups.
+	excl          ExcludeSet
+	frames        int // logical frame count, sizes the collectors
+	slcMoveFrames frameCollector
+	mlcMoveFrames frameCollector
+	pageFrames    [8]frameGroup
+
+	// Read-path scratch: page groups and unmapped-frame tallies.
+	readGroups  []readGroup
+	unmappedFr  []int32
+	unmappedCnt []int
+
 	// Check, when non-nil, is the attached invariant checker: host writes,
 	// trims and reads are mirrored into its shadow store, and every GC
 	// event triggers a structural sweep (at check.Full). Violations panic
@@ -122,6 +145,8 @@ func NewDevice(cfg *flash.Config, em *errmodel.Model) (*Device, error) {
 	d.slcTotalPages = cfg.SLCBlocks() * cfg.SLCPagesPerBlock
 	d.slcFreePages = d.slcTotalPages
 	d.blockReadyAt = make([]int64, cfg.Blocks)
+	d.excl = *NewExcludeSet(cfg.Blocks)
+	d.frames = (cfg.LogicalSubpages + cfg.SlotsPerPage() - 1) / cfg.SlotsPerPage()
 	if cfg.PreFillMLC {
 		d.preFill()
 	}
@@ -138,7 +163,7 @@ func (d *Device) preFill() {
 	frames := (d.Cfg.LogicalSubpages + slots - 1) / slots
 	for f := 0; f < frames; f++ {
 		blk, page := d.allocMLCPage()
-		writes := make([]flash.SlotWrite, 0, slots)
+		writes := d.writes[:0]
 		for i := 0; i < slots; i++ {
 			lsn := flash.LSN(f*slots + i)
 			if int(lsn) >= d.Cfg.LogicalSubpages {
@@ -225,39 +250,47 @@ func (d *Device) SLCValidSubpages() int64 { return d.slcValidSub }
 // Logical address helpers
 
 // LSNRange converts a byte range into the logical subpages it touches,
-// wrapping modulo the logical space.
+// wrapping modulo the logical space. The returned slice is device-owned
+// scratch, overwritten by the next LSNRange or Chunks call.
 func (d *Device) LSNRange(offset int64, size int) []flash.LSN {
 	sub := int64(d.Cfg.SubpageSizeBytes)
 	first := offset / sub
 	last := (offset + int64(size) - 1) / sub
-	out := make([]flash.LSN, 0, last-first+1)
-	for s := first; s <= last; s++ {
-		out = append(out, flash.LSN(s%int64(d.Cfg.LogicalSubpages)))
+	out := d.lsnBuf[:0]
+	if n := int(last - first + 1); cap(out) < n {
+		out = make([]flash.LSN, 0, n)
 	}
+	logical := int64(d.Cfg.LogicalSubpages)
+	for s := first; s <= last; s++ {
+		out = append(out, flash.LSN(s%logical))
+	}
+	d.lsnBuf = out
 	return out
 }
 
 // Chunks splits a byte range into frame-aligned LSN runs: each chunk's
 // subpages belong to one 16 KiB logical page frame, the write unit of every
-// scheme's placement policy.
+// scheme's placement policy. The returned chunks are views into the
+// device's LSNRange scratch, overwritten by the next LSNRange or Chunks
+// call.
 func (d *Device) Chunks(offset int64, size int) [][]flash.LSN {
 	lsns := d.LSNRange(offset, size)
 	slots := d.Cfg.SlotsPerPage()
-	var out [][]flash.LSN
-	var cur []flash.LSN
+	out := d.chunkBuf[:0]
+	start := 0
 	curFrame := int32(-1)
-	for _, l := range lsns {
+	for i, l := range lsns {
 		f := l.Frame(slots)
-		if f != curFrame && len(cur) > 0 {
-			out = append(out, cur)
-			cur = nil
+		if f != curFrame && i > start {
+			out = append(out, lsns[start:i])
+			start = i
 		}
 		curFrame = f
-		cur = append(cur, l)
 	}
-	if len(cur) > 0 {
-		out = append(out, cur)
+	if len(lsns) > start {
+		out = append(out, lsns[start:])
 	}
+	d.chunkBuf = out
 	return out
 }
 
@@ -317,6 +350,23 @@ func (d *Device) isOpenSLC(id int) bool {
 		}
 	}
 	return false
+}
+
+// openExcludes resets the device's reusable exclusion set and fills it
+// with the open SLC allocation points — the base set every victim
+// selection must skip. Scheme victim wrappers add their pinned blocks on
+// top before delegating to the selector.
+func (d *Device) openExcludes() *ExcludeSet {
+	s := &d.excl
+	s.Reset()
+	for li := range d.open {
+		for _, id := range d.open[li] {
+			if id >= 0 {
+				s.Add(id)
+			}
+		}
+	}
+	return s
 }
 
 // popMinErase removes and returns the block with the lowest erase count —
@@ -407,14 +457,15 @@ func (d *Device) programSLC(now int64, blk, page int, writes []flash.SlotWrite, 
 	_, err := d.Arr.ProgramPage(blk, page, writes, now)
 	must(err)
 	if deadRest {
-		var dead []int
+		nDead := 0
 		for i := range pg.Slots {
 			if pg.Slots[i].State == flash.SubFree {
-				dead = append(dead, i)
+				d.deadBuf[nDead] = i
+				nDead++
 			}
 		}
-		if len(dead) > 0 {
-			must(d.Arr.MarkDead(blk, page, dead...))
+		if nDead > 0 {
+			must(d.Arr.MarkDead(blk, page, d.deadBuf[:nDead]...))
 		}
 	}
 	for _, w := range writes {
@@ -442,7 +493,7 @@ func (d *Device) WriteChunkSLC(now int64, level flash.BlockLevel, lsns []flash.L
 	for _, l := range lsns {
 		d.invalidate(l)
 	}
-	writes := make([]flash.SlotWrite, len(lsns))
+	writes := d.writes[:len(lsns)]
 	for i, l := range lsns {
 		writes[i] = flash.SlotWrite{Slot: i, LSN: l}
 	}
@@ -541,11 +592,12 @@ func (d *Device) selectMLCVictim() int {
 }
 
 // moveMLCVictim relocates a victim's valid data, consolidating each frame
-// into a fresh page via WriteFrameMLC.
+// into a fresh page via WriteFrameMLC. It uses its own frame collector:
+// SLC movement can nest an MLC GC while iterating the SLC collector.
 func (d *Device) moveMLCVictim(now int64, victim int) {
 	b := d.Arr.Block(victim)
-	var frameOrder []int32
-	frames := make(map[int32][]flash.LSN)
+	c := &d.mlcMoveFrames
+	c.reset(d.frames)
 	slots := d.Cfg.SlotsPerPage()
 	for p := range b.Pages {
 		pg := &b.Pages[p]
@@ -553,21 +605,17 @@ func (d *Device) moveMLCVictim(now int64, victim int) {
 		for s := range pg.Slots {
 			if pg.Slots[s].State == flash.SubValid {
 				valid++
-				f := pg.Slots[s].LSN.Frame(slots)
-				if _, seen := frames[f]; !seen {
-					frameOrder = append(frameOrder, f)
-				}
-				frames[f] = append(frames[f], pg.Slots[s].LSN)
+				c.add(pg.Slots[s].LSN.Frame(slots), pg.Slots[s].LSN)
 			}
 		}
 		if valid > 0 {
 			d.perform(now, victim, sim.OpRead, valid, 0)
 		}
 	}
-	for _, f := range frameOrder {
-		lsns := frames[f]
-		d.Met.GCMovedSubpages += int64(len(lsns))
-		d.WriteFrameMLC(now, lsns)
+	for i := range c.groups {
+		g := &c.groups[i]
+		d.Met.GCMovedSubpages += int64(g.n)
+		d.WriteFrameMLC(now, g.lsns[:g.n])
 	}
 }
 
@@ -579,16 +627,20 @@ func (d *Device) moveMLCVictim(now int64, victim int) {
 func (d *Device) WriteFrameMLC(now int64, lsns []flash.LSN) int64 {
 	slots := d.Cfg.SlotsPerPage()
 	frame := lsns[0].Frame(slots)
+	// Any nested MLC GC completes here, before the scratch buffers below
+	// are touched, so one device-owned set of buffers suffices.
 	d.ensureMLCSpace(now)
 	blk, page := d.allocMLCPage()
 
-	inSet := make([]bool, slots)
+	// All per-frame sets are bounded by slots <= 8: fixed-size scratch.
+	var inSet [8]bool
 	for _, l := range lsns {
 		inSet[int(l)-int(frame)*slots] = true
 	}
-	gather := append([]flash.LSN(nil), lsns...)
-	var siblingPages []flash.PPA
-	siblingCount := make(map[flash.PPA]int)
+	gather := append(d.gather[:0], lsns...)
+	var sibPages [8]flash.PPA
+	var sibCount [8]int
+	nSib := 0
 	for i := 0; i < slots; i++ {
 		if inSet[i] {
 			continue
@@ -603,29 +655,39 @@ func (d *Device) WriteFrameMLC(now int64, lsns []flash.LSN) int64 {
 		}
 		gather = append(gather, l)
 		pa := ppa.PageAddr()
-		if siblingCount[pa] == 0 {
-			siblingPages = append(siblingPages, pa)
+		si := -1
+		for j := 0; j < nSib; j++ {
+			if sibPages[j] == pa {
+				si = j
+				break
+			}
 		}
-		siblingCount[pa]++
+		if si < 0 {
+			sibPages[nSib] = pa
+			si = nSib
+			nSib++
+		}
+		sibCount[si]++
 	}
-	for _, pa := range siblingPages {
-		d.perform(now, pa.Block(), sim.OpRead, siblingCount[pa], 0)
+	for j := 0; j < nSib; j++ {
+		d.perform(now, sibPages[j].Block(), sim.OpRead, sibCount[j], 0)
 	}
 	for _, l := range gather {
 		d.invalidate(l)
 	}
-	writes := make([]flash.SlotWrite, len(gather))
+	writes := d.writes[:len(gather)]
 	for i, l := range gather {
 		writes[i] = flash.SlotWrite{Slot: i, LSN: l}
 	}
 	_, err := d.Arr.ProgramPage(blk, page, writes, now)
 	must(err)
 	if len(gather) < slots {
-		var dead []int
+		nDead := 0
 		for i := len(gather); i < slots; i++ {
-			dead = append(dead, i)
+			d.deadBuf[nDead] = i
+			nDead++
 		}
-		must(d.Arr.MarkDead(blk, page, dead...))
+		must(d.Arr.MarkDead(blk, page, d.deadBuf[:nDead]...))
 	}
 	for i, l := range gather {
 		d.Map.Set(l, flash.NewPPA(blk, page, i))
@@ -646,6 +708,14 @@ func (d *Device) cellReadTime(mode flash.Mode) time.Duration {
 	return d.Cfg.Timing.MLCRead
 }
 
+// readGroup collects the slots of one physical page touched by a read
+// request. A page has at most 8 slots (flash.Config.Validate).
+type readGroup struct {
+	pa   flash.PPA
+	n    int
+	slot [8]uint8
+}
+
 // ReadReq services a host read: mapped subpages are read from their
 // physical pages (one flash read per distinct page, with per-subpage ECC
 // cost from the error model); unmapped subpages model data written before
@@ -658,43 +728,61 @@ func (d *Device) ReadReq(now int64, offset int64, size int) int64 {
 	}
 	slots := d.Cfg.SlotsPerPage()
 
-	type group struct {
-		ppa   flash.PPA // page address
-		slotN []int
-	}
-	var groups []group
-	index := make(map[flash.PPA]int)
-	var unmappedFrames []int32
-	unmappedCount := make(map[int32]int)
-
+	// Group mapped subpages by physical page and tally unmapped frames in
+	// device-owned scratch. Both populations are small (bounded by the
+	// request's subpage count), so first-seen linear probing beats the map
+	// allocations it replaces.
+	groups := d.readGroups[:0]
+	uf := d.unmappedFr[:0]
+	uc := d.unmappedCnt[:0]
 	for _, l := range lsns {
 		ppa := d.Map.Get(l)
 		if !ppa.Mapped() {
 			f := l.Frame(slots)
-			if unmappedCount[f] == 0 {
-				unmappedFrames = append(unmappedFrames, f)
+			fi := -1
+			for i := range uf {
+				if uf[i] == f {
+					fi = i
+					break
+				}
 			}
-			unmappedCount[f]++
+			if fi < 0 {
+				uf = append(uf, f)
+				uc = append(uc, 1)
+			} else {
+				uc[fi]++
+			}
 			continue
 		}
 		pa := ppa.PageAddr()
-		gi, seen := index[pa]
-		if !seen {
-			gi = len(groups)
-			index[pa] = gi
-			groups = append(groups, group{ppa: pa})
+		gi := -1
+		for i := range groups {
+			if groups[i].pa == pa {
+				gi = i
+				break
+			}
 		}
-		groups[gi].slotN = append(groups[gi].slotN, ppa.Slot())
+		if gi < 0 {
+			groups = append(groups, readGroup{pa: pa})
+			gi = len(groups) - 1
+		}
+		g := &groups[gi]
+		g.slot[g.n] = uint8(ppa.Slot())
+		g.n++
 	}
+	d.readGroups = groups
+	d.unmappedFr = uf
+	d.unmappedCnt = uc
 
 	end := now
-	for _, g := range groups {
-		b := d.Arr.Block(g.ppa.Block())
+	for gi := range groups {
+		g := &groups[gi]
+		b := d.Arr.Block(g.pa.Block())
 		pe := b.PE(d.Cfg.PEBaseline)
 		var extra time.Duration
 		retries := 0
-		for _, s := range g.slotN {
-			sp := d.Arr.Subpage(flash.NewPPA(g.ppa.Block(), g.ppa.Page(), s))
+		for _, s := range g.slot[:g.n] {
+			sp := d.Arr.Subpage(flash.NewPPA(g.pa.Block(), g.pa.Page(), int(s)))
 			cost := d.Err.SubpageReadCost(pe, sp)
 			extra += cost.DecodeTime
 			retries += cost.Retries
@@ -704,22 +792,22 @@ func (d *Device) ReadReq(now int64, offset int64, size int) int64 {
 			}
 		}
 		if b.Mode == flash.ModeSLC {
-			d.Met.SubpageReadsSLC += int64(len(g.slotN))
+			d.Met.SubpageReadsSLC += int64(g.n)
 		} else {
-			d.Met.SubpageReadsMLC += int64(len(g.slotN))
+			d.Met.SubpageReadsMLC += int64(g.n)
 		}
 		d.Met.ReadRetries += int64(retries)
 		extra += time.Duration(retries) * d.cellReadTime(b.Mode)
-		if e := d.Eng.Perform(now, g.ppa.Block(), sim.OpRead, len(g.slotN), extra); e > end {
+		if e := d.Eng.Perform(now, g.pa.Block(), sim.OpRead, g.n, extra); e > end {
 			end = e
 		}
 	}
 
-	if len(unmappedFrames) > 0 {
+	if len(uf) > 0 {
 		cost := d.Err.CostFromBER(d.Err.RawBER(d.Cfg.PEBaseline, false))
 		mlcIDs := d.Arr.MLCBlockIDs()
-		for _, f := range unmappedFrames {
-			n := unmappedCount[f]
+		for fi, f := range uf {
+			n := uc[fi]
 			// Deterministic pseudo-placement spreads pre-existing data
 			// across MLC chips.
 			blk := mlcIDs[int(f)%len(mlcIDs)]

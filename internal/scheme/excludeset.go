@@ -1,0 +1,61 @@
+package scheme
+
+// ExcludeSet is the set of block IDs victim selection must skip: open
+// allocation points and scheme-pinned pages (MGA open pages, IPU combine
+// pages). It is epoch-marked so the device can reuse one instance across
+// every GC trigger — Reset, Add and Has are O(1) and allocation-free once
+// the backing arrays have grown to their steady size.
+type ExcludeSet struct {
+	epoch uint32
+	mark  []uint32 // by block ID; mark[id] == epoch means excluded
+	ids   []int    // IDs excluded this epoch, deduplicated, insertion order
+}
+
+// NewExcludeSet returns an empty set for a device with the given number of
+// blocks.
+func NewExcludeSet(blocks int) *ExcludeSet {
+	return &ExcludeSet{epoch: 1, mark: make([]uint32, blocks)}
+}
+
+// Reset empties the set in O(1) by advancing the epoch.
+func (s *ExcludeSet) Reset() {
+	s.epoch++
+	if s.epoch == 0 { // epoch wrapped: stale marks could alias, clear them
+		for i := range s.mark {
+			s.mark[i] = 0
+		}
+		s.epoch = 1
+	}
+	s.ids = s.ids[:0]
+}
+
+// Add marks a block excluded. Duplicate adds are absorbed.
+func (s *ExcludeSet) Add(id int) {
+	if s.mark[id] == s.epoch {
+		return
+	}
+	s.mark[id] = s.epoch
+	s.ids = append(s.ids, id)
+}
+
+// Has reports whether a block is excluded. A nil set excludes nothing.
+func (s *ExcludeSet) Has(id int) bool {
+	return s != nil && s.mark[id] == s.epoch
+}
+
+// Len returns the number of distinct excluded blocks. Nil-safe.
+func (s *ExcludeSet) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.ids)
+}
+
+// IDs returns the excluded block IDs in insertion order. The slice is
+// invalidated by the next Reset; callers must not retain it.
+func (s *ExcludeSet) IDs() []int {
+	if s == nil {
+		return nil
+	}
+	return s.ids
+}

@@ -91,6 +91,11 @@ type IPU struct {
 	combine    []flash.PPA
 	hasCombine []bool
 	combineRR  int
+
+	// victimFn is the variant's victim selector (with combine-page
+	// protection baked in), created once so the per-write GC call does not
+	// allocate a closure.
+	victimFn VictimSelector
 }
 
 // NewIPU builds the paper's IPU scheme on a fresh device.
@@ -111,12 +116,29 @@ func NewIPUVariant(cfg *flash.Config, em *errmodel.Model, v IPUVariant) (*IPU, e
 		return nil, err
 	}
 	stripes := len(d.open[flash.LevelWork])
-	return &IPU{
+	u := &IPU{
 		dev:        d,
 		v:          v,
 		combine:    make([]flash.PPA, stripes),
 		hasCombine: make([]bool, stripes),
-	}, nil
+	}
+	sel := ISRVictim
+	if v.GreedyGC {
+		sel = GreedyVictim
+	}
+	if v.CombineCold {
+		u.victimFn = func(d *Device, now int64, excl *ExcludeSet) int {
+			for i, pp := range u.combine {
+				if u.hasCombine[i] {
+					excl.Add(pp.Block())
+				}
+			}
+			return sel(d, now, excl)
+		}
+	} else {
+		u.victimFn = sel
+	}
+	return u, nil
 }
 
 // Name implements Scheme.
@@ -150,29 +172,32 @@ func (u *IPU) classify(lsns []flash.LSN) (oldPage flash.PPA, samePage bool) {
 	return pa, true
 }
 
-// intraPageRoom returns the free slots of the old page if it can absorb an
-// in-place update of n subpages: enough free slots, program budget left,
-// and the page must be SLC-mode (MLC pages cannot be reprogrammed).
-func (u *IPU) intraPageRoom(oldPage flash.PPA, n int) []int {
+// intraPageRoom returns the first n free slots of the old page if it can
+// absorb an in-place update of n subpages: enough free slots, program
+// budget left, and the page must be SLC-mode (MLC pages cannot be
+// reprogrammed). A page has at most 8 slots, so the indices come back in
+// a fixed-size array.
+func (u *IPU) intraPageRoom(oldPage flash.PPA, n int) (free [8]int, ok bool) {
 	d := u.dev
 	b := d.Arr.Block(oldPage.Block())
 	if b.Mode != flash.ModeSLC {
-		return nil
+		return free, false
 	}
 	pg := &b.Pages[oldPage.Page()]
 	if int(pg.ProgramCount) >= d.Cfg.MaxProgramsPerSLCPage {
-		return nil
+		return free, false
 	}
-	var free []int
+	nFree := 0
 	for s := range pg.Slots {
 		if pg.Slots[s].State == flash.SubFree {
-			free = append(free, s)
+			free[nFree] = s
+			nFree++
+			if nFree == n {
+				return free, true
+			}
 		}
 	}
-	if len(free) < n {
-		return nil
-	}
-	return free[:n]
+	return free, false
 }
 
 // Write implements Scheme, following Algorithm 1.
@@ -185,32 +210,10 @@ func (u *IPU) Write(now int64, offset int64, size int) int64 {
 			end = e
 		}
 	}
-	selectVictim := ISRVictim
-	if u.v.GreedyGC {
-		selectVictim = GreedyVictim
-	}
-	d.MaybeGCSLC(now, u.victim(selectVictim), MoveIPU)
+	d.MaybeGCSLC(now, u.victimFn, MoveIPU)
 	d.NoteHostWrite(now, offset, size)
 	d.RecordWrite(now, end)
 	return end
-}
-
-// victim wraps the configured selector, protecting the combine pages'
-// blocks from collection.
-func (u *IPU) victim(sel VictimSelector) VictimSelector {
-	if !u.v.CombineCold {
-		return sel
-	}
-	return func(d *Device, now int64, exclude func(int) bool) int {
-		return sel(d, now, func(id int) bool {
-			for i, pp := range u.combine {
-				if u.hasCombine[i] && pp.Block() == id {
-					return true
-				}
-			}
-			return exclude(id)
-		})
-	}
 }
 
 // writeChunk places one frame-aligned chunk.
@@ -220,13 +223,13 @@ func (u *IPU) writeChunk(now int64, chunk []flash.LSN) int64 {
 	if samePage && d.Arr.Block(oldPage.Block()).Mode == flash.ModeSLC {
 		// Update of cache-resident data: the paper's hot path.
 		if !u.v.DisableIntraPage {
-			if free := u.intraPageRoom(oldPage, len(chunk)); free != nil {
+			if free, ok := u.intraPageRoom(oldPage, len(chunk)); ok {
 				// Intra-page update: invalidate the old versions first so the
 				// partial program's in-page disturb hits only obsolete data.
 				for _, l := range chunk {
 					d.invalidate(l)
 				}
-				writes := make([]flash.SlotWrite, len(chunk))
+				writes := d.writes[:len(chunk)]
 				for i, l := range chunk {
 					writes[i] = flash.SlotWrite{Slot: free[i], LSN: l}
 				}
@@ -288,19 +291,21 @@ func (u *IPU) appendCold(now int64, chunk []flash.LSN) (int64, bool) {
 			u.hasCombine[slot] = false
 			continue
 		}
-		var free []int
+		var free [8]int
+		nFree := 0
 		for s := range pg.Slots {
 			if pg.Slots[s].State == flash.SubFree {
-				free = append(free, s)
+				free[nFree] = s
+				nFree++
 			}
 		}
-		if len(free) < len(chunk) {
+		if nFree < len(chunk) {
 			continue
 		}
 		for _, l := range chunk {
 			d.invalidate(l)
 		}
-		writes := make([]flash.SlotWrite, len(chunk))
+		writes := d.writes[:len(chunk)]
 		for i, l := range chunk {
 			writes[i] = flash.SlotWrite{Slot: free[i], LSN: l}
 		}

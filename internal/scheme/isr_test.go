@@ -16,7 +16,7 @@ func isrDevice(t *testing.T) *Device {
 
 // fillPage programs every slot of the page at time wt and invalidates the
 // first nInvalid of them.
-func fillPage(t *testing.T, d *Device, blk, page int, wt int64, nInvalid int) {
+func fillPage(t testing.TB, d *Device, blk, page int, wt int64, nInvalid int) {
 	t.Helper()
 	pg := d.Arr.PageOf(flash.NewPPA(blk, page, 0))
 	writes := make([]flash.SlotWrite, len(pg.Slots))
@@ -36,7 +36,7 @@ func fillPage(t *testing.T, d *Device, blk, page int, wt int64, nInvalid int) {
 // updatePage programs half a page, partial-programs the rest (marking the
 // page updated, so its data leaves the J set), then invalidates nInvalid
 // slots. The block ends with JCount == 0 for this page.
-func updatePage(t *testing.T, d *Device, blk, page int, wt int64, nInvalid int) {
+func updatePage(t testing.TB, d *Device, blk, page int, wt int64, nInvalid int) {
 	t.Helper()
 	pg := d.Arr.PageOf(flash.NewPPA(blk, page, 0))
 	half := len(pg.Slots) / 2
@@ -62,16 +62,14 @@ func updatePage(t *testing.T, d *Device, blk, page int, wt int64, nInvalid int) 
 	}
 }
 
-func noExclude(int) bool { return false }
-
 func TestISRVictimEmptyCache(t *testing.T) {
 	d := isrDevice(t)
-	if v := ISRVictim(d, 1000, noExclude); v != -1 {
+	if v := ISRVictim(d, 1000, nil); v != -1 {
 		t.Errorf("empty cache returned victim %d, want -1", v)
 	}
 	// A never-programmed block must not be selected even next to used ones.
 	fillPage(t, d, 3, 0, 0, 2)
-	if v := ISRVictim(d, 1000, noExclude); v != 3 {
+	if v := ISRVictim(d, 1000, nil); v != 3 {
 		t.Errorf("victim = %d, want 3 (the only used block)", v)
 	}
 }
@@ -81,7 +79,7 @@ func TestISRVictimPrefersAllInvalid(t *testing.T) {
 	// Block 1: one page fully invalid. Block 2: one page half valid.
 	fillPage(t, d, 1, 0, 0, 4)
 	fillPage(t, d, 2, 0, 0, 2)
-	if v := ISRVictim(d, 1000, noExclude); v != 1 {
+	if v := ISRVictim(d, 1000, nil); v != 1 {
 		t.Errorf("victim = %d, want 1 (all-invalid page)", v)
 	}
 }
@@ -92,14 +90,14 @@ func TestISRVictimTZeroGuard(t *testing.T) {
 	// naive T would be 0 and Eq. 2's exp(-t/T) would divide by zero.
 	const now = 500
 	fillPage(t, d, 1, 0, now, 1)
-	v := ISRVictim(d, now, noExclude)
+	v := ISRVictim(d, now, nil)
 	if v != 1 {
 		t.Errorf("victim = %d, want 1", v)
 	}
 	// And the same guard at now == 0 (age of data written at t=0).
 	d2 := isrDevice(t)
 	fillPage(t, d2, 4, 0, 0, 1)
-	if v := ISRVictim(d2, 0, noExclude); v != 4 {
+	if v := ISRVictim(d2, 0, nil); v != 4 {
 		t.Errorf("victim at t=0 = %d, want 4", v)
 	}
 }
@@ -115,7 +113,7 @@ func TestISRVictimColdBeatsUpdated(t *testing.T) {
 	if d.Arr.Block(1).JCount == 0 || d.Arr.Block(2).JCount != 0 {
 		t.Fatalf("fixture broken: J = %d, %d", d.Arr.Block(1).JCount, d.Arr.Block(2).JCount)
 	}
-	if v := ISRVictim(d, 1_000_000, noExclude); v != 1 {
+	if v := ISRVictim(d, 1_000_000, nil); v != 1 {
 		t.Errorf("victim = %d, want 1 (cold never-updated data)", v)
 	}
 }
@@ -124,12 +122,17 @@ func TestISRVictimRespectsExclusion(t *testing.T) {
 	d := isrDevice(t)
 	fillPage(t, d, 1, 0, 0, 4)
 	fillPage(t, d, 2, 0, 0, 2)
-	v := ISRVictim(d, 1000, func(id int) bool { return id == 1 })
+	excl := NewExcludeSet(d.Arr.NumBlocks())
+	excl.Add(1)
+	v := ISRVictim(d, 1000, excl)
 	if v != 2 {
 		t.Errorf("victim = %d, want 2 (block 1 excluded)", v)
 	}
 	// Excluding every used block leaves nothing to collect.
-	v = ISRVictim(d, 1000, func(id int) bool { return id == 1 || id == 2 })
+	excl.Reset()
+	excl.Add(1)
+	excl.Add(2)
+	v = ISRVictim(d, 1000, excl)
 	if v != -1 {
 		t.Errorf("victim = %d, want -1 (all used blocks excluded)", v)
 	}
@@ -159,7 +162,7 @@ func TestISRScoreMatchesEq12(t *testing.T) {
 	if score(2, tMean) > score(1, tMean) {
 		want = 2
 	}
-	if v := ISRVictim(d, now, noExclude); v != want {
+	if v := ISRVictim(d, now, nil); v != want {
 		t.Errorf("victim = %d, want %d (scores: b1=%.4f b2=%.4f)", v, want, score(1, tMean), score(2, tMean))
 	}
 }

@@ -22,6 +22,10 @@ type MGA struct {
 	openPages []flash.PPA // per-stripe page accepting appends
 	hasOpen   []bool
 	rr        int
+
+	// victimFn is the bound victim method, created once so the per-write
+	// GC call does not allocate a method-value closure.
+	victimFn VictimSelector
 }
 
 // NewMGA builds the MGA scheme on a fresh device.
@@ -31,11 +35,13 @@ func NewMGA(cfg *flash.Config, em *errmodel.Model) (*MGA, error) {
 		return nil, err
 	}
 	stripes := len(d.open[flash.LevelWork])
-	return &MGA{
+	m := &MGA{
 		dev:       d,
 		openPages: make([]flash.PPA, stripes),
 		hasOpen:   make([]bool, stripes),
-	}, nil
+	}
+	m.victimFn = m.victim
+	return m, nil
 }
 
 // Name implements Scheme.
@@ -47,24 +53,25 @@ func (m *MGA) Device() *Device { return m.dev }
 // Metrics implements Scheme.
 func (m *MGA) Metrics() *Metrics { return m.dev.Met }
 
-// roomAt returns the free slots of a stripe's open page, or nil when the
-// page is absent, full, or out of program budget.
-func (m *MGA) roomAt(slot int) []int {
+// roomAt returns the free slots of a stripe's open page (nFree == 0 when
+// the page is absent, full, or out of program budget). The slot indices
+// come back in a fixed-size array: a page has at most 8 slots.
+func (m *MGA) roomAt(slot int) (free [8]int, nFree int) {
 	if !m.hasOpen[slot] {
-		return nil
+		return free, 0
 	}
 	pp := m.openPages[slot]
 	pg := &m.dev.Arr.Block(pp.Block()).Pages[pp.Page()]
 	if int(pg.ProgramCount) >= m.dev.Cfg.MaxProgramsPerSLCPage {
-		return nil
+		return free, 0
 	}
-	var free []int
 	for s := range pg.Slots {
 		if pg.Slots[s].State == flash.SubFree {
-			free = append(free, s)
+			free[nFree] = s
+			nFree++
 		}
 	}
-	return free
+	return free, nFree
 }
 
 // Write implements Scheme: subpages are appended into open pages' free
@@ -78,17 +85,17 @@ func (m *MGA) Write(now int64, offset int64, size int) int64 {
 		for len(pending) > 0 {
 			slot := m.rr % len(m.openPages)
 			m.rr++
-			if free := m.roomAt(slot); len(free) > 0 {
+			if free, nFree := m.roomAt(slot); nFree > 0 {
 				n := len(pending)
-				if n > len(free) {
-					n = len(free)
+				if n > nFree {
+					n = nFree
 				}
 				head := pending[:n]
 				pending = pending[n:]
 				for _, l := range head {
 					d.invalidate(l)
 				}
-				writes := make([]flash.SlotWrite, n)
+				writes := d.writes[:n]
 				for i, l := range head {
 					writes[i] = flash.SlotWrite{Slot: free[i], LSN: l}
 				}
@@ -118,7 +125,7 @@ func (m *MGA) Write(now int64, offset int64, size int) int64 {
 			for _, l := range head {
 				d.invalidate(l)
 			}
-			writes := make([]flash.SlotWrite, n)
+			writes := d.writes[:n]
 			for i, l := range head {
 				writes[i] = flash.SlotWrite{Slot: i, LSN: l}
 			}
@@ -129,7 +136,7 @@ func (m *MGA) Write(now int64, offset int64, size int) int64 {
 			m.hasOpen[slot] = true
 		}
 	}
-	d.MaybeGCSLC(now, m.victim, MoveFlushAll)
+	d.MaybeGCSLC(now, m.victimFn, MoveFlushAll)
 	d.NoteHostWrite(now, offset, size)
 	d.RecordWrite(now, end)
 	return end
@@ -137,15 +144,13 @@ func (m *MGA) Write(now int64, offset int64, size int) int64 {
 
 // victim wraps GreedyVictim, additionally protecting the open pages'
 // blocks from collection.
-func (m *MGA) victim(d *Device, now int64, exclude func(int) bool) int {
-	return GreedyVictim(d, now, func(id int) bool {
-		for i, pp := range m.openPages {
-			if m.hasOpen[i] && pp.Block() == id {
-				return true
-			}
+func (m *MGA) victim(d *Device, now int64, excl *ExcludeSet) int {
+	for i, pp := range m.openPages {
+		if m.hasOpen[i] {
+			excl.Add(pp.Block())
 		}
-		return exclude(id)
-	})
+	}
+	return GreedyVictim(d, now, excl)
 }
 
 // Read implements Scheme.

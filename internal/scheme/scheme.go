@@ -69,8 +69,10 @@ type Metrics struct {
 	GCVictimUsedSub, GCVictimTotalSub int64
 	// GCMovedSubpages counts valid subpages relocated by GC.
 	GCMovedSubpages int64
-	// GCScanNS is the accumulated wall-clock time of victim selection
-	// (Fig. 12), and GCBlocksScanned its deterministic proxy.
+	// GCScanNS is the accumulated victim-selection cost (Fig. 12) on the
+	// engine's deterministic scan clock (sim.ScanCostPerBlockNS per block
+	// of metadata visited); GCBlocksScanned counts the candidate blocks
+	// each selection considered. Both reproduce bit-for-bit across runs.
 	GCScanNS        int64
 	GCBlocksScanned int64
 
