@@ -25,8 +25,8 @@ func TestRunWritesParsableMSR(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tr.Records) < 100 {
-		t.Errorf("only %d records generated", len(tr.Records))
+	if tr.Len() < 100 {
+		t.Errorf("only %d records generated", tr.Len())
 	}
 	if err := tr.Validate(); err != nil {
 		t.Fatal(err)

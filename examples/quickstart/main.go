@@ -27,7 +27,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("replaying %d requests of %s...\n", len(tr.Records), tr.Name)
+	fmt.Printf("replaying %d requests of %s...\n", tr.Len(), tr.Name)
 
 	res, err := sim.Run(tr)
 	if err != nil {

@@ -9,9 +9,9 @@ import (
 // burstTrace builds a trace whose requests all arrive at t=0 — the
 // worst case for open-loop replay.
 func burstTrace(n int) *trace.Trace {
-	tr := &trace.Trace{Name: "burst"}
+	tr := trace.New("burst")
 	for i := 0; i < n; i++ {
-		tr.Records = append(tr.Records, trace.Record{
+		tr.Append(trace.Record{
 			Time: 0, Op: trace.OpWrite, Offset: int64(i) * 16384, Size: 16384,
 		})
 	}
@@ -28,7 +28,7 @@ func TestRunClosedLoopRejectsBadDepth(t *testing.T) {
 	if _, err := sim.RunClosedLoop(burstTrace(10), 0); err == nil {
 		t.Fatal("depth 0 accepted")
 	}
-	bad := &trace.Trace{Name: "bad", Records: []trace.Record{{Size: 0}}}
+	bad := trace.New("bad", trace.Record{Size: 0})
 	if _, err := sim.RunClosedLoop(bad, 1); err == nil {
 		t.Fatal("invalid trace accepted")
 	}
@@ -86,9 +86,9 @@ func TestClosedLoopDepthOneSerialises(t *testing.T) {
 func TestClosedLoopMatchesOpenLoopWhenIdle(t *testing.T) {
 	// With generous inter-arrival gaps the gate never binds: both modes
 	// must produce identical results.
-	tr := &trace.Trace{Name: "idle"}
+	tr := trace.New("idle")
 	for i := 0; i < 100; i++ {
-		tr.Records = append(tr.Records, trace.Record{
+		tr.Append(trace.Record{
 			Time: int64(i) * 10_000_000, Op: trace.OpWrite, Offset: int64(i) * 16384, Size: 16384,
 		})
 	}

@@ -52,29 +52,34 @@ func DefaultConfig() Config {
 type Simulator struct {
 	cfg    Config
 	scheme scheme.Scheme
+
+	// key and pooled record the snapshot-cache identity of the scheme
+	// instance, so release can hand it back for recycling.
+	key    snapshotKey
+	pooled bool
 }
 
 // New builds a simulator. The flash configuration is copied, so one Config
-// value can seed many simulators.
+// value can seed many simulators. Device construction goes through the
+// precondition-snapshot cache: the first simulator for a (flash, error,
+// scheme) combination builds and pre-fills a template device, and every
+// later one starts from a deep clone of it — identical state at a fraction
+// of the start-up cost. The invariant checker is attached per instance,
+// after cloning.
 func New(cfg Config) (*Simulator, error) {
-	fc := cfg.Flash // copy: the scheme retains a pointer
-	em := cfg.Error
-	var s scheme.Scheme
-	var err error
-	switch cfg.Scheme {
-	case "Baseline":
-		s, err = scheme.NewBaseline(&fc, &em)
-	case "MGA":
-		s, err = scheme.NewMGA(&fc, &em)
-	default:
-		// IPU and its ablation/extension variants (IPU-greedyGC,
-		// IPU-flat, IPU-noupdate, IPU-AC).
-		v, ok := scheme.IPUVariants()[cfg.Scheme]
-		if !ok {
-			return nil, fmt.Errorf("core: unknown scheme %q (want Baseline, MGA, IPU or an IPU variant)", cfg.Scheme)
-		}
-		s, err = scheme.NewIPUVariant(&fc, &em, v)
+	s, key, err := snapshotScheme(cfg)
+	if err != nil {
+		return nil, err
 	}
+	s.Device().AttachChecker(cfg.Check)
+	return &Simulator{cfg: cfg, scheme: s, key: key, pooled: true}, nil
+}
+
+// newFresh builds a simulator from scratch, bypassing the snapshot cache.
+// It exists for the clone-fidelity differential tests, which compare a
+// cloned device's replay against a freshly constructed one.
+func newFresh(cfg Config) (*Simulator, error) {
+	s, err := buildScheme(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -82,8 +87,44 @@ func New(cfg Config) (*Simulator, error) {
 	return &Simulator{cfg: cfg, scheme: s}, nil
 }
 
+// buildScheme constructs (and, per cfg.Flash.PreFillMLC, preconditions) a
+// scheme instance from scratch.
+func buildScheme(cfg Config) (scheme.Scheme, error) {
+	fc := cfg.Flash // copy: the scheme retains a pointer
+	em := cfg.Error
+	switch cfg.Scheme {
+	case "Baseline":
+		return scheme.NewBaseline(&fc, &em)
+	case "MGA":
+		return scheme.NewMGA(&fc, &em)
+	default:
+		// IPU and its ablation/extension variants (IPU-greedyGC,
+		// IPU-flat, IPU-noupdate, IPU-AC).
+		v, ok := scheme.IPUVariants()[cfg.Scheme]
+		if !ok {
+			return nil, fmt.Errorf("core: unknown scheme %q (want Baseline, MGA, IPU or an IPU variant)", cfg.Scheme)
+		}
+		return scheme.NewIPUVariant(&fc, &em, v)
+	}
+}
+
 // Scheme returns the underlying FTL.
 func (s *Simulator) Scheme() scheme.Scheme { return s.scheme }
+
+// release hands the scheme instance back to the snapshot cache's free pool
+// for recycling and invalidates the simulator. Only internal drivers that
+// fully own their simulators (RunMatrix) may call it: a released device is
+// overwritten in place by a later job.
+func (s *Simulator) release() {
+	if !s.pooled || s.scheme == nil {
+		return
+	}
+	d := s.scheme.Device()
+	d.Check = nil
+	d.TestHooks.AfterHostWrite = nil
+	releaseScheme(s.key, s.scheme)
+	s.scheme = nil
+}
 
 // Write services one host write request.
 func (s *Simulator) Write(now int64, offset int64, size int) int64 {
@@ -101,7 +142,8 @@ func (s *Simulator) Run(tr *trace.Trace) (*Result, error) {
 	if err := tr.Validate(); err != nil {
 		return nil, err
 	}
-	for _, r := range tr.Records {
+	for i := 0; i < tr.Len(); i++ {
+		r := tr.At(i)
 		if r.Op == trace.OpWrite {
 			s.scheme.Write(r.Time, r.Offset, r.Size)
 		} else {
@@ -111,7 +153,7 @@ func (s *Simulator) Run(tr *trace.Trace) (*Result, error) {
 	if err := s.checkFinal(); err != nil {
 		return nil, err
 	}
-	return s.Result(tr.Name, len(tr.Records)), nil
+	return s.Result(tr.Name, tr.Len()), nil
 }
 
 // checkFinal runs the attached invariant checker's end-of-run sweep.
@@ -138,7 +180,8 @@ func (s *Simulator) RunClosedLoop(tr *trace.Trace, depth int) (*Result, error) {
 		return nil, err
 	}
 	ring := make([]int64, depth)
-	for i, r := range tr.Records {
+	for i := 0; i < tr.Len(); i++ {
+		r := tr.At(i)
 		issue := r.Time
 		if gate := ring[i%depth]; gate > issue {
 			issue = gate
@@ -154,7 +197,7 @@ func (s *Simulator) RunClosedLoop(tr *trace.Trace, depth int) (*Result, error) {
 	if err := s.checkFinal(); err != nil {
 		return nil, err
 	}
-	return s.Result(tr.Name, len(tr.Records)), nil
+	return s.Result(tr.Name, tr.Len()), nil
 }
 
 // Result snapshots the run's statistics.

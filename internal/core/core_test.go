@@ -68,8 +68,8 @@ func TestRunSmallTrace(t *testing.T) {
 	if res.Trace != "ts0" || res.Scheme != "IPU" {
 		t.Errorf("result labels: %+v", res)
 	}
-	if res.Requests != len(tr.Records) {
-		t.Errorf("requests = %d, want %d", res.Requests, len(tr.Records))
+	if res.Requests != tr.Len() {
+		t.Errorf("requests = %d, want %d", res.Requests, tr.Len())
 	}
 	if res.AvgLatency <= 0 || res.AvgWriteLatency <= 0 || res.AvgReadLatency <= 0 {
 		t.Errorf("latencies not recorded: %+v", res)
@@ -92,7 +92,7 @@ func TestRunRejectsInvalidTrace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	bad := &trace.Trace{Name: "bad", Records: []trace.Record{{Time: 5, Size: 0}}}
+	bad := trace.New("bad", trace.Record{Time: 5, Size: 0})
 	if _, err := sim.Run(bad); err == nil {
 		t.Fatal("invalid trace accepted")
 	}

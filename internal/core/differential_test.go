@@ -53,8 +53,8 @@ func TestRunDifferential(t *testing.T) {
 		t.Fatalf("results = %d, want %d", len(res), len(DifferentialSchemes()))
 	}
 	for _, r := range res {
-		if r.Requests != len(tr.Records) {
-			t.Errorf("%s replayed %d of %d requests", r.Scheme, r.Requests, len(tr.Records))
+		if r.Requests != tr.Len() {
+			t.Errorf("%s replayed %d of %d requests", r.Scheme, r.Requests, tr.Len())
 		}
 	}
 }

@@ -63,16 +63,45 @@ type traceKey struct {
 // traceCache memoises trace synthesis across RunMatrix calls. Sweeps
 // (sensitivity, replicate, benchmark loops) call RunMatrix many times with
 // the same (name, seed, scale) tuples; traces are immutable once built, so
-// regenerating them per call is pure waste.
-var traceCache sync.Map // traceKey -> *trace.Trace
+// regenerating them per call is pure waste. The cache is LRU-bounded: a
+// full-scale trace holds millions of records, and a long multi-scale or
+// multi-seed sweep would otherwise accumulate every variant it ever
+// replayed.
+var (
+	traceCacheMu    sync.Mutex
+	traceCacheMap   = map[traceKey]*traceCacheEntry{}
+	traceCacheClock uint64
+	traceCacheCap   = 24
+)
+
+type traceCacheEntry struct {
+	tr      *trace.Trace
+	lastUse uint64
+}
+
+// ResetTraceCache drops every cached synthesised trace, releasing their
+// memory. Long-running drivers call it between sweep phases that use
+// disjoint (seed, scale) settings.
+func ResetTraceCache() {
+	traceCacheMu.Lock()
+	traceCacheMap = map[traceKey]*traceCacheEntry{}
+	traceCacheMu.Unlock()
+}
 
 // cachedTrace returns the synthesised trace for a profile, generating and
-// caching it on first use.
+// caching it on first use and evicting the least recently used trace
+// beyond the cache cap.
 func cachedTrace(name string, seed int64, scale float64) (*trace.Trace, error) {
 	key := traceKey{name, seed, scale}
-	if tr, ok := traceCache.Load(key); ok {
-		return tr.(*trace.Trace), nil
+	traceCacheMu.Lock()
+	traceCacheClock++
+	if e, ok := traceCacheMap[key]; ok {
+		e.lastUse = traceCacheClock
+		traceCacheMu.Unlock()
+		return e.tr, nil
 	}
+	traceCacheMu.Unlock()
+
 	p, ok := trace.Profiles[name]
 	if !ok {
 		return nil, fmt.Errorf("core: unknown trace profile %q", name)
@@ -81,8 +110,29 @@ func cachedTrace(name string, seed int64, scale float64) (*trace.Trace, error) {
 	if err != nil {
 		return nil, err
 	}
-	actual, _ := traceCache.LoadOrStore(key, tr)
-	return actual.(*trace.Trace), nil
+
+	traceCacheMu.Lock()
+	defer traceCacheMu.Unlock()
+	traceCacheClock++
+	if e, ok := traceCacheMap[key]; ok {
+		// Another goroutine generated the same trace concurrently; keep
+		// the cached one so all jobs share a single instance.
+		e.lastUse = traceCacheClock
+		return e.tr, nil
+	}
+	traceCacheMap[key] = &traceCacheEntry{tr: tr, lastUse: traceCacheClock}
+	for len(traceCacheMap) > traceCacheCap {
+		var victim traceKey
+		var oldest uint64
+		first := true
+		for k, e := range traceCacheMap {
+			if first || e.lastUse < oldest {
+				victim, oldest, first = k, e.lastUse, false
+			}
+		}
+		delete(traceCacheMap, victim)
+	}
+	return tr, nil
 }
 
 // RunMatrix executes every (trace, scheme, P/E) combination of the spec on
@@ -139,6 +189,10 @@ func RunMatrix(spec MatrixSpec) ([]*Result, error) {
 			errs[i] = err
 			return
 		}
+		// The Result holds only values, so the device can be recycled: the
+		// snapshot cache restores it in place for a later same-key job
+		// instead of cutting a fresh clone.
+		sim.release()
 		res.PEBaseline = cfg.Flash.PEBaseline
 		results[i] = res
 	}

@@ -18,6 +18,13 @@ type Array struct {
 	cfg    *Config
 	blocks []Block
 
+	// pages and subs are the device-wide backing stores every Block.Pages
+	// and Page.Slots slice points into. Keeping them flat makes Clone two
+	// bulk copies plus slice-header rebinding instead of a per-block
+	// allocation walk.
+	pages []Page
+	subs  []Subpage
+
 	// slcIDs and mlcIDs partition block IDs by mode. SLC blocks occupy the
 	// low IDs, which keeps them striped across all chips.
 	slcIDs []int
@@ -57,6 +64,13 @@ func NewArray(cfg *Config) (*Array, error) {
 	slots := cfg.SlotsPerPage()
 	nSLC := cfg.SLCBlocks()
 	a.slcUsed = make([]uint64, (nSLC+63)/64)
+	totalPages := nSLC*cfg.SLCPagesPerBlock + (cfg.Blocks-nSLC)*cfg.MLCPagesPerBlock
+	a.pages = make([]Page, totalPages)
+	a.subs = make([]Subpage, totalPages*slots)
+	for i := range a.subs {
+		a.subs[i].LSN = InvalidLSN
+	}
+	pageOff := 0
 	for id := range a.blocks {
 		b := &a.blocks[id]
 		b.ID = id
@@ -71,17 +85,57 @@ func NewArray(cfg *Config) (*Array, error) {
 		} else {
 			a.mlcIDs = append(a.mlcIDs, id)
 		}
-		b.Pages = make([]Page, pages)
-		// One backing array per block keeps subpages contiguous.
-		backing := make([]Subpage, pages*slots)
-		for i := range backing {
-			backing[i].LSN = InvalidLSN
-		}
-		for p := range b.Pages {
-			b.Pages[p].Slots = backing[p*slots : (p+1)*slots : (p+1)*slots]
-		}
+		b.Pages = a.pages[pageOff : pageOff+pages : pageOff+pages]
+		pageOff += pages
 	}
+	a.bindSlots()
 	return a, nil
+}
+
+// bindSlots points every page's Slots header at its run of the flat
+// subpage store. The layout is positional, so rebinding after a bulk copy
+// reproduces the exact structure of the source array.
+func (a *Array) bindSlots() {
+	slots := a.cfg.SlotsPerPage()
+	for i := range a.pages {
+		a.pages[i].Slots = a.subs[i*slots : (i+1)*slots : (i+1)*slots]
+	}
+}
+
+// Clone returns a deep copy of the array sharing only the immutable config
+// and block-ID index slices. The copy is two bulk memmoves of the flat
+// page/subpage stores plus header rebinding, independent of how much of
+// the device has been programmed — the heart of the precondition-snapshot
+// layer.
+func (a *Array) Clone() *Array {
+	c := &Array{
+		blocks:  make([]Block, len(a.blocks)),
+		pages:   make([]Page, len(a.pages)),
+		subs:    make([]Subpage, len(a.subs)),
+		slcUsed: make([]uint64, len(a.slcUsed)),
+	}
+	c.Restore(a)
+	return c
+}
+
+// Restore overwrites a with a deep copy of t, reusing a's backing stores
+// instead of allocating fresh ones — the recycled-clone start-up path. The
+// two arrays must come from the same geometry.
+func (a *Array) Restore(t *Array) {
+	blocks, pages, subs, used := a.blocks, a.pages, a.subs, a.slcUsed
+	copy(blocks, t.blocks)
+	copy(pages, t.pages)
+	copy(subs, t.subs)
+	copy(used, t.slcUsed)
+	*a = *t
+	a.blocks, a.pages, a.subs, a.slcUsed = blocks, pages, subs, used
+	pageOff := 0
+	for id := range a.blocks {
+		n := len(a.blocks[id].Pages)
+		a.blocks[id].Pages = a.pages[pageOff : pageOff+n : pageOff+n]
+		pageOff += n
+	}
+	a.bindSlots()
 }
 
 // Config returns the geometry the array was built with.

@@ -30,6 +30,20 @@ func NewMap(n int) *Map {
 	return m
 }
 
+// Clone returns a deep copy of the map.
+func (m *Map) Clone() *Map {
+	c := &Map{entries: make([]flash.PPA, len(m.entries)), mapped: m.mapped}
+	copy(c.entries, m.entries)
+	return c
+}
+
+// Restore overwrites m with a copy of t, reusing m's entry table. Both maps
+// must cover the same logical space.
+func (m *Map) Restore(t *Map) {
+	copy(m.entries, t.entries)
+	m.mapped = t.mapped
+}
+
 // Len returns the logical space size in subpages.
 func (m *Map) Len() int { return len(m.entries) }
 

@@ -23,6 +23,21 @@ func NewBaseline(cfg *flash.Config, em *errmodel.Model) (*Baseline, error) {
 	return &Baseline{dev: d}, nil
 }
 
+// Clone implements Scheme.
+func (b *Baseline) Clone() Scheme {
+	return &Baseline{dev: b.dev.Clone()}
+}
+
+// Restore implements Scheme.
+func (b *Baseline) Restore(from Scheme) bool {
+	t, ok := from.(*Baseline)
+	if !ok || b.dev.Map.Len() != t.dev.Map.Len() || b.dev.Arr.NumBlocks() != t.dev.Arr.NumBlocks() {
+		return false
+	}
+	b.dev.Restore(t.dev)
+	return true
+}
+
 // Name implements Scheme.
 func (b *Baseline) Name() string { return "Baseline" }
 

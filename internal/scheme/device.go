@@ -153,6 +153,80 @@ func NewDevice(cfg *flash.Config, em *errmodel.Model) (*Device, error) {
 	return d, nil
 }
 
+// Clone returns a deep copy of the device: flash array, engine, mapping
+// and metrics are duplicated so the clone and the original evolve fully
+// independently, while the immutable config and error model are shared.
+// Per-call scratch buffers are left empty (they are rebuilt lazily) and no
+// checker is attached — call AttachChecker on the clone. Clone a device
+// only between requests, never while a GC is mid-flight.
+func (d *Device) Clone() *Device {
+	c := &Device{}
+	*c = *d
+	c.Arr = d.Arr.Clone()
+	c.Eng = d.Eng.Clone()
+	c.Map = d.Map.Clone()
+	met := *d.Met
+	c.Met = &met
+	c.slcFree = append([]int(nil), d.slcFree...)
+	c.mlcFree = append([]int(nil), d.mlcFree...)
+	for i := range c.open {
+		c.open[i] = append([]int(nil), d.open[i]...)
+	}
+	c.mlcOpen = append([]int(nil), d.mlcOpen...)
+	c.blockReadyAt = append([]int64(nil), d.blockReadyAt...)
+	// Scratch is per-call state: sharing backing arrays with the source
+	// would race when clones run on different goroutines.
+	c.lsnBuf = nil
+	c.chunkBuf = nil
+	c.excl = *NewExcludeSet(d.Cfg.Blocks)
+	c.slcMoveFrames = frameCollector{}
+	c.mlcMoveFrames = frameCollector{}
+	c.readGroups = nil
+	c.unmappedFr = nil
+	c.unmappedCnt = nil
+	c.Check = nil
+	c.TestHooks.AfterHostWrite = nil
+	return c
+}
+
+// Restore overwrites d with a deep copy of t, reusing d's component
+// objects, backing stores and hot-path scratch instead of allocating fresh
+// ones. It is the recycled-clone start-up path: restoring a released clone
+// from its template is one bulk copy pass with no garbage. Both devices
+// must come from the same geometry; like Clone, the result starts with no
+// checker and no test hooks.
+func (d *Device) Restore(t *Device) {
+	arr, eng, m, met := d.Arr, d.Eng, d.Map, d.Met
+	arr.Restore(t.Arr)
+	eng.Restore(t.Eng)
+	m.Restore(t.Map)
+	*met = *t.Met
+	slcFree := append(d.slcFree[:0], t.slcFree...)
+	mlcFree := append(d.mlcFree[:0], t.mlcFree...)
+	var open [flash.LevelHot + 1][]int
+	for i := range open {
+		open[i] = append(d.open[i][:0], t.open[i]...)
+	}
+	mlcOpen := append(d.mlcOpen[:0], t.mlcOpen...)
+	blockReadyAt := append(d.blockReadyAt[:0], t.blockReadyAt...)
+	// Scratch stays with d: it is per-call state the hot paths reset before
+	// use, and the released clone's grown buffers are worth keeping.
+	lsnBuf, chunkBuf := d.lsnBuf, d.chunkBuf
+	excl := d.excl
+	slcMove, mlcMove := d.slcMoveFrames, d.mlcMoveFrames
+	readGroups, unmappedFr, unmappedCnt := d.readGroups, d.unmappedFr, d.unmappedCnt
+
+	*d = *t
+	d.Arr, d.Eng, d.Map, d.Met = arr, eng, m, met
+	d.slcFree, d.mlcFree, d.open, d.mlcOpen, d.blockReadyAt = slcFree, mlcFree, open, mlcOpen, blockReadyAt
+	d.lsnBuf, d.chunkBuf = lsnBuf, chunkBuf
+	d.excl = excl
+	d.slcMoveFrames, d.mlcMoveFrames = slcMove, mlcMove
+	d.readGroups, d.unmappedFr, d.unmappedCnt = readGroups, unmappedFr, unmappedCnt
+	d.Check = nil
+	d.TestHooks.AfterHostWrite = nil
+}
+
 // preFill preconditions the device: the whole logical space is written
 // sequentially into the MLC region at time zero, frame by frame, without
 // charging simulated time or appearing in the program counters the figures

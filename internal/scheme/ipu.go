@@ -122,11 +122,19 @@ func NewIPUVariant(cfg *flash.Config, em *errmodel.Model, v IPUVariant) (*IPU, e
 		combine:    make([]flash.PPA, stripes),
 		hasCombine: make([]bool, stripes),
 	}
+	u.bindVictim()
+	return u, nil
+}
+
+// bindVictim installs the variant's victim selector. The CombineCold
+// wrapper closes over the receiver, so clones must call this again to
+// protect their own combine pages rather than the template's.
+func (u *IPU) bindVictim() {
 	sel := ISRVictim
-	if v.GreedyGC {
+	if u.v.GreedyGC {
 		sel = GreedyVictim
 	}
-	if v.CombineCold {
+	if u.v.CombineCold {
 		u.victimFn = func(d *Device, now int64, excl *ExcludeSet) int {
 			for i, pp := range u.combine {
 				if u.hasCombine[i] {
@@ -138,7 +146,34 @@ func NewIPUVariant(cfg *flash.Config, em *errmodel.Model, v IPUVariant) (*IPU, e
 	} else {
 		u.victimFn = sel
 	}
-	return u, nil
+}
+
+// Clone implements Scheme.
+func (u *IPU) Clone() Scheme {
+	c := &IPU{
+		dev:        u.dev.Clone(),
+		v:          u.v,
+		combine:    append([]flash.PPA(nil), u.combine...),
+		hasCombine: append([]bool(nil), u.hasCombine...),
+		combineRR:  u.combineRR,
+	}
+	c.bindVictim()
+	return c
+}
+
+// Restore implements Scheme.
+func (u *IPU) Restore(from Scheme) bool {
+	t, ok := from.(*IPU)
+	if !ok || u.v != t.v || len(u.combine) != len(t.combine) ||
+		u.dev.Map.Len() != t.dev.Map.Len() || u.dev.Arr.NumBlocks() != t.dev.Arr.NumBlocks() {
+		return false
+	}
+	u.dev.Restore(t.dev)
+	copy(u.combine, t.combine)
+	copy(u.hasCombine, t.hasCombine)
+	u.combineRR = t.combineRR
+	// victimFn is already bound to u.
+	return true
 }
 
 // Name implements Scheme.

@@ -44,6 +44,35 @@ func NewMGA(cfg *flash.Config, em *errmodel.Model) (*MGA, error) {
 	return m, nil
 }
 
+// Clone implements Scheme.
+func (m *MGA) Clone() Scheme {
+	c := &MGA{
+		dev:       m.dev.Clone(),
+		openPages: append([]flash.PPA(nil), m.openPages...),
+		hasOpen:   append([]bool(nil), m.hasOpen...),
+		rr:        m.rr,
+	}
+	// Rebind the victim selector: the method value must capture the clone,
+	// or its GC would protect the template's open pages instead.
+	c.victimFn = c.victim
+	return c
+}
+
+// Restore implements Scheme.
+func (m *MGA) Restore(from Scheme) bool {
+	t, ok := from.(*MGA)
+	if !ok || len(m.openPages) != len(t.openPages) ||
+		m.dev.Map.Len() != t.dev.Map.Len() || m.dev.Arr.NumBlocks() != t.dev.Arr.NumBlocks() {
+		return false
+	}
+	m.dev.Restore(t.dev)
+	copy(m.openPages, t.openPages)
+	copy(m.hasOpen, t.hasOpen)
+	m.rr = t.rr
+	// victimFn is already bound to m.
+	return true
+}
+
 // Name implements Scheme.
 func (m *MGA) Name() string { return "MGA" }
 

@@ -37,6 +37,17 @@ type Scheme interface {
 	Device() *Device
 	// Metrics exposes the run statistics.
 	Metrics() *Metrics
+	// Clone returns a deep copy of the scheme and its device, so a
+	// preconditioned instance can serve as a template for many independent
+	// runs. Clone only between requests (never mid-GC); the copy starts
+	// with no checker attached.
+	Clone() Scheme
+	// Restore overwrites this instance with a deep copy of from, reusing
+	// its own allocations — a Clone into recycled storage. It reports false
+	// (leaving the receiver untouched) when from is a different concrete
+	// scheme or geometry. Like Clone, the restored instance starts with no
+	// checker attached.
+	Restore(from Scheme) bool
 }
 
 // Metrics aggregates everything the paper's figures report for one run.

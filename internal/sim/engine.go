@@ -87,6 +87,31 @@ func NewEngine(cfg *flash.Config) *Engine {
 	return e
 }
 
+// Clone returns a deep copy of the engine sharing only the immutable
+// config.
+func (e *Engine) Clone() *Engine {
+	c := &Engine{
+		chipFree: make([]int64, len(e.chipFree)),
+		chanFree: make([]int64, len(e.chanFree)),
+		gcBacklog: make([]int64, len(e.gcBacklog)),
+	}
+	c.Stats.BusyPerChip = make([]int64, len(e.Stats.BusyPerChip))
+	c.Restore(e)
+	return c
+}
+
+// Restore overwrites e with a deep copy of t, reusing e's slices. Both
+// engines must come from the same geometry.
+func (e *Engine) Restore(t *Engine) {
+	chipFree, chanFree, backlog, busy := e.chipFree, e.chanFree, e.gcBacklog, e.Stats.BusyPerChip
+	copy(chipFree, t.chipFree)
+	copy(chanFree, t.chanFree)
+	copy(backlog, t.gcBacklog)
+	copy(busy, t.Stats.BusyPerChip)
+	*e = *t
+	e.chipFree, e.chanFree, e.gcBacklog, e.Stats.BusyPerChip = chipFree, chanFree, backlog, busy
+}
+
 // cellTime returns the raw flash cell latency of an operation.
 func (e *Engine) cellTime(kind OpKind, mode flash.Mode) time.Duration {
 	t := &e.cfg.Timing

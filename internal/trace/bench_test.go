@@ -14,7 +14,7 @@ func BenchmarkGenerate(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if len(tr.Records) == 0 {
+		if tr.Len() == 0 {
 			b.Fatal("empty trace")
 		}
 	}
@@ -32,6 +32,29 @@ func BenchmarkAnalyze(b *testing.B) {
 		if s.Requests == 0 {
 			b.Fatal("no stats")
 		}
+	}
+}
+
+// BenchmarkTraceScan measures the record-iteration hot path over the
+// struct-of-arrays storage: one full At() pass plus the memoised
+// MaxOffset per iteration, the same access pattern Simulator.Run and
+// Analyze perform.
+func BenchmarkTraceScan(b *testing.B) {
+	tr, err := Generate(Profiles["ts0"], 1, 0.02)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < tr.Len(); j++ {
+			r := tr.At(j)
+			sink += r.Time + r.Offset + int64(r.Size) + int64(r.Op)
+		}
+		sink += tr.MaxOffset()
+	}
+	if sink == 0 {
+		b.Fatal("empty scan")
 	}
 }
 

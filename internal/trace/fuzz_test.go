@@ -30,8 +30,8 @@ func FuzzParseMSR(f *testing.F) {
 		if err != nil {
 			t.Fatalf("round-trip parse failed: %v", err)
 		}
-		if len(again.Records) != len(tr.Records) {
-			t.Fatalf("round trip lost records: %d -> %d", len(tr.Records), len(again.Records))
+		if again.Len() != tr.Len() {
+			t.Fatalf("round trip lost records: %d -> %d", tr.Len(), again.Len())
 		}
 	})
 }

@@ -70,7 +70,7 @@ func ParseMSR(name string, r io.Reader) (*Trace, error) {
 			base = ts
 			haveBase = true
 		}
-		t.Records = append(t.Records, Record{
+		t.Append(Record{
 			Time:   ts, // absolute ticks; rebased below
 			Op:     op,
 			Offset: off,
@@ -80,8 +80,8 @@ func ParseMSR(name string, r io.Reader) (*Trace, error) {
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("trace %s: %v", name, err)
 	}
-	for i := range t.Records {
-		t.Records[i].Time = (t.Records[i].Time - base) * filetimeTick
+	for i := range t.time {
+		t.time[i] = (t.time[i] - base) * filetimeTick
 	}
 	t.Sort()
 	return t, nil
@@ -91,7 +91,8 @@ func ParseMSR(name string, r io.Reader) (*Trace, error) {
 // used as the hostname field; disk number and response time are zero.
 func WriteMSR(w io.Writer, t *Trace) error {
 	bw := bufio.NewWriter(w)
-	for _, r := range t.Records {
+	for i := 0; i < t.Len(); i++ {
+		r := t.At(i)
 		if _, err := fmt.Fprintf(bw, "%d,%s,0,%s,%d,%d,0\n",
 			r.Time/filetimeTick, t.Name, r.Op, r.Offset, r.Size); err != nil {
 			return err

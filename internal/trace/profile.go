@@ -176,7 +176,8 @@ func Generate(p Profile, seed int64, scale float64) (*Trace, error) {
 		return nil, err
 	}
 
-	tr := &Trace{Name: p.Name, Records: make([]Record, 0, n)}
+	tr := &Trace{Name: p.Name}
+	tr.Reserve(n)
 	// coldQueue holds recently written cold extents awaiting one read-back.
 	// Reading each at most once keeps cold addresses below the "4 or more
 	// requests" hotness threshold of Table 3.
@@ -213,7 +214,7 @@ func Generate(p Profile, seed int64, scale float64) (*Trace, error) {
 				scanCursor += int64(size)
 			}
 		}
-		tr.Records = append(tr.Records, rec)
+		tr.Append(rec)
 	}
 	return tr, nil
 }

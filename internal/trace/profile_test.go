@@ -89,11 +89,11 @@ func TestGenerateDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(a.Records) != len(b.Records) {
+	if a.Len() != b.Len() {
 		t.Fatal("lengths differ")
 	}
-	for i := range a.Records {
-		if a.Records[i] != b.Records[i] {
+	for i := 0; i < a.Len(); i++ {
+		if a.At(i) != b.At(i) {
 			t.Fatal("same seed must reproduce the same trace")
 		}
 	}
@@ -102,8 +102,8 @@ func TestGenerateDeterministic(t *testing.T) {
 		t.Fatal(err)
 	}
 	same := true
-	for i := range a.Records {
-		if i < len(c.Records) && a.Records[i] != c.Records[i] {
+	for i := 0; i < a.Len(); i++ {
+		if i < c.Len() && a.At(i) != c.At(i) {
 			same = false
 			break
 		}
@@ -121,7 +121,8 @@ func TestGenerateWellFormed(t *testing.T) {
 	if err := tr.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	for i, r := range tr.Records {
+	for i := 0; i < tr.Len(); i++ {
+		r := tr.At(i)
 		if r.Offset%4096 != 0 || r.Size%4096 != 0 {
 			t.Fatalf("record %d not 4K aligned: %+v", i, r)
 		}
@@ -181,14 +182,14 @@ func TestAnalyzeEmptyTrace(t *testing.T) {
 func TestAnalyzeHandCraftedTrace(t *testing.T) {
 	// Address 0 written 4 times (hot, 3 updates); address 8192 written
 	// once (cold); one read.
-	tr := &Trace{Name: "hand", Records: []Record{
-		{Time: 0, Op: OpWrite, Offset: 0, Size: 4096},
-		{Time: 1, Op: OpWrite, Offset: 0, Size: 4096},
-		{Time: 2, Op: OpWrite, Offset: 0, Size: 8192},
-		{Time: 3, Op: OpWrite, Offset: 0, Size: 16384},
-		{Time: 4, Op: OpWrite, Offset: 8192, Size: 4096},
-		{Time: 5, Op: OpRead, Offset: 0, Size: 4096},
-	}}
+	tr := New("hand",
+		Record{Time: 0, Op: OpWrite, Offset: 0, Size: 4096},
+		Record{Time: 1, Op: OpWrite, Offset: 0, Size: 4096},
+		Record{Time: 2, Op: OpWrite, Offset: 0, Size: 8192},
+		Record{Time: 3, Op: OpWrite, Offset: 0, Size: 16384},
+		Record{Time: 4, Op: OpWrite, Offset: 8192, Size: 4096},
+		Record{Time: 5, Op: OpRead, Offset: 0, Size: 4096},
+	)
 	s := Analyze(tr)
 	if s.Requests != 6 || s.Writes != 5 {
 		t.Fatalf("counts: %+v", s)

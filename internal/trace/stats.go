@@ -46,16 +46,16 @@ const HotThreshold = 4
 // per start address, one to classify each write.
 func Analyze(t *Trace) Stats {
 	var s Stats
-	s.Requests = len(t.Records)
+	s.Requests = t.Len()
 	if s.Requests == 0 {
 		return s
 	}
-	s.DurationNS = t.Records[len(t.Records)-1].Time - t.Records[0].Time
-	if n := len(t.Records) - 1; n > 0 {
+	s.DurationNS = t.time[t.Len()-1] - t.time[0]
+	if n := t.Len() - 1; n > 0 {
 		mean := float64(s.DurationNS) / float64(n)
 		var varSum float64
-		for i := 1; i < len(t.Records); i++ {
-			d := float64(t.Records[i].Time-t.Records[i-1].Time) - mean
+		for i := 1; i < t.Len(); i++ {
+			d := float64(t.time[i]-t.time[i-1]) - mean
 			varSum += d * d
 		}
 		s.MeanInterarrivalNS = mean
@@ -65,15 +65,16 @@ func Analyze(t *Trace) Stats {
 	}
 
 	access := make(map[int64]int, s.Requests)
-	for _, r := range t.Records {
-		access[r.Offset]++
+	for _, off := range t.off {
+		access[off]++
 	}
 
 	writtenBefore := make(map[int64]bool, s.Requests)
 	var writeBytes int64
 	var hotWrites int
 	var small, medium, large int
-	for _, r := range t.Records {
+	for i := 0; i < t.Len(); i++ {
+		r := t.At(i)
 		if r.Op != OpWrite {
 			continue
 		}

@@ -7,17 +7,17 @@ import (
 )
 
 func TestTraceValidate(t *testing.T) {
-	good := &Trace{Name: "g", Records: []Record{
-		{Time: 0, Op: OpWrite, Offset: 0, Size: 4096},
-		{Time: 10, Op: OpRead, Offset: 4096, Size: 4096},
-	}}
+	good := New("g",
+		Record{Time: 0, Op: OpWrite, Offset: 0, Size: 4096},
+		Record{Time: 10, Op: OpRead, Offset: 4096, Size: 4096},
+	)
 	if err := good.Validate(); err != nil {
 		t.Fatal(err)
 	}
 	bad := []*Trace{
-		{Name: "order", Records: []Record{{Time: 10, Size: 1}, {Time: 5, Size: 1}}},
-		{Name: "size", Records: []Record{{Time: 0, Size: 0}}},
-		{Name: "offset", Records: []Record{{Time: 0, Offset: -1, Size: 1}}},
+		New("order", Record{Time: 10, Size: 1}, Record{Time: 5, Size: 1}),
+		New("size", Record{Time: 0, Size: 0}),
+		New("offset", Record{Time: 0, Offset: -1, Size: 1}),
 	}
 	for _, tr := range bad {
 		if err := tr.Validate(); err == nil {
@@ -31,11 +31,11 @@ func TestRecordEndAndMaxOffset(t *testing.T) {
 	if r.End() != 150 {
 		t.Errorf("End = %d", r.End())
 	}
-	tr := &Trace{Records: []Record{
-		{Offset: 0, Size: 10},
-		{Offset: 500, Size: 100},
-		{Offset: 300, Size: 10},
-	}}
+	tr := New("",
+		Record{Offset: 0, Size: 10},
+		Record{Offset: 500, Size: 100},
+		Record{Offset: 300, Size: 10},
+	)
 	if tr.MaxOffset() != 600 {
 		t.Errorf("MaxOffset = %d", tr.MaxOffset())
 	}
@@ -44,15 +44,47 @@ func TestRecordEndAndMaxOffset(t *testing.T) {
 	}
 }
 
+func TestMaxOffsetMemoisedByAppend(t *testing.T) {
+	tr := New("")
+	tr.Append(Record{Offset: 100, Size: 10})
+	if tr.MaxOffset() != 110 {
+		t.Errorf("MaxOffset = %d after first append", tr.MaxOffset())
+	}
+	tr.Append(Record{Offset: 0, Size: 10})
+	if tr.MaxOffset() != 110 {
+		t.Error("smaller append must not shrink MaxOffset")
+	}
+	tr.Append(Record{Offset: 1000, Size: 24})
+	if tr.MaxOffset() != 1024 {
+		t.Errorf("MaxOffset = %d after growth", tr.MaxOffset())
+	}
+}
+
+func TestTraceLenAt(t *testing.T) {
+	recs := []Record{
+		{Time: 1, Op: OpWrite, Offset: 10, Size: 20},
+		{Time: 2, Op: OpRead, Offset: 30, Size: 40},
+	}
+	tr := New("la", recs...)
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for i, want := range recs {
+		if got := tr.At(i); got != want {
+			t.Errorf("At(%d) = %+v, want %+v", i, got, want)
+		}
+	}
+}
+
 func TestTraceSortStable(t *testing.T) {
-	tr := &Trace{Records: []Record{
-		{Time: 5, Offset: 1, Size: 1},
-		{Time: 2, Offset: 2, Size: 1},
-		{Time: 5, Offset: 3, Size: 1},
-	}}
+	tr := New("",
+		Record{Time: 5, Offset: 1, Size: 1},
+		Record{Time: 2, Offset: 2, Size: 1},
+		Record{Time: 5, Offset: 3, Size: 1},
+	)
 	tr.Sort()
-	if tr.Records[0].Offset != 2 || tr.Records[1].Offset != 1 || tr.Records[2].Offset != 3 {
-		t.Errorf("sort order wrong: %+v", tr.Records)
+	if tr.At(0).Offset != 2 || tr.At(1).Offset != 1 || tr.At(2).Offset != 3 {
+		t.Errorf("sort order wrong: %+v %+v %+v", tr.At(0), tr.At(1), tr.At(2))
 	}
 }
 
@@ -63,11 +95,11 @@ func TestOpTypeString(t *testing.T) {
 }
 
 func TestMSRRoundTrip(t *testing.T) {
-	orig := &Trace{Name: "rt", Records: []Record{
-		{Time: 0, Op: OpWrite, Offset: 8192, Size: 4096},
-		{Time: 150 * 100, Op: OpRead, Offset: 0, Size: 16384},
-		{Time: 400 * 100, Op: OpWrite, Offset: 123456512, Size: 8192},
-	}}
+	orig := New("rt",
+		Record{Time: 0, Op: OpWrite, Offset: 8192, Size: 4096},
+		Record{Time: 150 * 100, Op: OpRead, Offset: 0, Size: 16384},
+		Record{Time: 400 * 100, Op: OpWrite, Offset: 123456512, Size: 8192},
+	)
 	var buf bytes.Buffer
 	if err := WriteMSR(&buf, orig); err != nil {
 		t.Fatal(err)
@@ -76,12 +108,12 @@ func TestMSRRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got.Records) != len(orig.Records) {
-		t.Fatalf("record count %d, want %d", len(got.Records), len(orig.Records))
+	if got.Len() != orig.Len() {
+		t.Fatalf("record count %d, want %d", got.Len(), orig.Len())
 	}
-	for i := range got.Records {
-		if got.Records[i] != orig.Records[i] {
-			t.Errorf("record %d: got %+v want %+v", i, got.Records[i], orig.Records[i])
+	for i := 0; i < got.Len(); i++ {
+		if got.At(i) != orig.At(i) {
+			t.Errorf("record %d: got %+v want %+v", i, got.At(i), orig.At(i))
 		}
 	}
 }
@@ -93,11 +125,11 @@ func TestParseMSRRebasesTimestamps(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if tr.Records[0].Time != 0 {
-		t.Errorf("first timestamp %d, want 0", tr.Records[0].Time)
+	if tr.At(0).Time != 0 {
+		t.Errorf("first timestamp %d, want 0", tr.At(0).Time)
 	}
-	if tr.Records[1].Time != 100*filetimeTick {
-		t.Errorf("second timestamp %d, want %d", tr.Records[1].Time, 100*filetimeTick)
+	if tr.At(1).Time != 100*filetimeTick {
+		t.Errorf("second timestamp %d, want %d", tr.At(1).Time, 100*filetimeTick)
 	}
 }
 
@@ -107,8 +139,8 @@ func TestParseMSRSkipsCommentsAndBlank(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tr.Records) != 1 {
-		t.Fatalf("records = %d, want 1", len(tr.Records))
+	if tr.Len() != 1 {
+		t.Fatalf("records = %d, want 1", tr.Len())
 	}
 }
 
@@ -118,7 +150,7 @@ func TestParseMSRAcceptsShortOps(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if tr.Records[0].Op != OpRead || tr.Records[1].Op != OpWrite {
+	if tr.At(0).Op != OpRead || tr.At(1).Op != OpWrite {
 		t.Error("short op codes misparsed")
 	}
 }
@@ -148,7 +180,7 @@ func TestParseMSRSortsOutOfOrder(t *testing.T) {
 	if err := tr.Validate(); err != nil {
 		t.Fatalf("parsed trace invalid: %v", err)
 	}
-	if tr.Records[0].Op != OpWrite {
+	if tr.At(0).Op != OpWrite {
 		t.Error("records not sorted by time")
 	}
 }

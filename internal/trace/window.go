@@ -7,7 +7,8 @@ func (t *Trace) Clip(from, to int64) *Trace {
 	out := &Trace{Name: t.Name}
 	var base int64
 	haveBase := false
-	for _, r := range t.Records {
+	for i := 0; i < t.Len(); i++ {
+		r := t.At(i)
 		if r.Time < from || r.Time >= to {
 			continue
 		}
@@ -16,7 +17,7 @@ func (t *Trace) Clip(from, to int64) *Trace {
 			haveBase = true
 		}
 		r.Time -= base
-		out.Records = append(out.Records, r)
+		out.Append(r)
 	}
 	return out
 }
@@ -25,9 +26,9 @@ func (t *Trace) Clip(from, to int64) *Trace {
 // operation type, preserving timestamps.
 func (t *Trace) FilterOp(op OpType) *Trace {
 	out := &Trace{Name: t.Name}
-	for _, r := range t.Records {
-		if r.Op == op {
-			out.Records = append(out.Records, r)
+	for i := 0; i < t.Len(); i++ {
+		if t.op[i] == op {
+			out.Append(t.At(i))
 		}
 	}
 	return out
@@ -35,14 +36,17 @@ func (t *Trace) FilterOp(op OpType) *Trace {
 
 // Head returns a new trace with at most n leading records.
 func (t *Trace) Head(n int) *Trace {
-	if n > len(t.Records) {
-		n = len(t.Records)
+	if n > t.Len() {
+		n = t.Len()
 	}
 	if n < 0 {
 		n = 0
 	}
-	out := &Trace{Name: t.Name, Records: make([]Record, n)}
-	copy(out.Records, t.Records[:n])
+	out := &Trace{Name: t.Name}
+	out.Reserve(n)
+	for i := 0; i < n; i++ {
+		out.Append(t.At(i))
+	}
 	return out
 }
 
@@ -50,10 +54,20 @@ func (t *Trace) Head(n int) *Trace {
 // compressing (factor < 1) or stretching (factor > 1) the arrival process
 // to change the load intensity without altering the access pattern.
 func (t *Trace) Scale(factor float64) *Trace {
-	out := &Trace{Name: t.Name, Records: make([]Record, len(t.Records))}
-	copy(out.Records, t.Records)
-	for i := range out.Records {
-		out.Records[i].Time = int64(float64(out.Records[i].Time) * factor)
+	n := t.Len()
+	out := &Trace{
+		Name:   t.Name,
+		time:   make([]int64, n),
+		op:     make([]OpType, n),
+		off:    make([]int64, n),
+		size:   make([]int32, n),
+		maxEnd: t.maxEnd,
+	}
+	copy(out.op, t.op)
+	copy(out.off, t.off)
+	copy(out.size, t.size)
+	for i, ts := range t.time {
+		out.time[i] = int64(float64(ts) * factor)
 	}
 	return out
 }

@@ -3,30 +3,30 @@ package trace
 import "testing"
 
 func windowFixture() *Trace {
-	return &Trace{Name: "w", Records: []Record{
-		{Time: 0, Op: OpWrite, Offset: 0, Size: 4096},
-		{Time: 100, Op: OpRead, Offset: 4096, Size: 4096},
-		{Time: 200, Op: OpWrite, Offset: 8192, Size: 4096},
-		{Time: 300, Op: OpRead, Offset: 0, Size: 4096},
-	}}
+	return New("w",
+		Record{Time: 0, Op: OpWrite, Offset: 0, Size: 4096},
+		Record{Time: 100, Op: OpRead, Offset: 4096, Size: 4096},
+		Record{Time: 200, Op: OpWrite, Offset: 8192, Size: 4096},
+		Record{Time: 300, Op: OpRead, Offset: 0, Size: 4096},
+	)
 }
 
 func TestClip(t *testing.T) {
 	tr := windowFixture()
 	got := tr.Clip(100, 300)
-	if len(got.Records) != 2 {
-		t.Fatalf("records = %d", len(got.Records))
+	if got.Len() != 2 {
+		t.Fatalf("records = %d", got.Len())
 	}
-	if got.Records[0].Time != 0 || got.Records[1].Time != 100 {
-		t.Errorf("timestamps not rebased: %+v", got.Records)
+	if got.At(0).Time != 0 || got.At(1).Time != 100 {
+		t.Errorf("timestamps not rebased: %+v %+v", got.At(0), got.At(1))
 	}
-	if got.Records[0].Op != OpRead || got.Records[1].Op != OpWrite {
+	if got.At(0).Op != OpRead || got.At(1).Op != OpWrite {
 		t.Error("wrong records kept")
 	}
-	if len(tr.Records) != 4 {
+	if tr.Len() != 4 {
 		t.Error("Clip mutated the source")
 	}
-	if empty := tr.Clip(900, 1000); len(empty.Records) != 0 {
+	if empty := tr.Clip(900, 1000); empty.Len() != 0 {
 		t.Error("out-of-range clip not empty")
 	}
 }
@@ -35,33 +35,33 @@ func TestFilterOp(t *testing.T) {
 	tr := windowFixture()
 	reads := tr.FilterOp(OpRead)
 	writes := tr.FilterOp(OpWrite)
-	if len(reads.Records) != 2 || len(writes.Records) != 2 {
-		t.Fatalf("split %d/%d", len(reads.Records), len(writes.Records))
+	if reads.Len() != 2 || writes.Len() != 2 {
+		t.Fatalf("split %d/%d", reads.Len(), writes.Len())
 	}
-	for _, r := range reads.Records {
-		if r.Op != OpRead {
+	for i := 0; i < reads.Len(); i++ {
+		if reads.At(i).Op != OpRead {
 			t.Error("write leaked into read filter")
 		}
 	}
-	if reads.Records[0].Time != 100 {
+	if reads.At(0).Time != 100 {
 		t.Error("timestamps must be preserved")
 	}
 }
 
 func TestHead(t *testing.T) {
 	tr := windowFixture()
-	if got := tr.Head(2); len(got.Records) != 2 || got.Records[1].Time != 100 {
-		t.Errorf("Head(2): %+v", got.Records)
+	if got := tr.Head(2); got.Len() != 2 || got.At(1).Time != 100 {
+		t.Errorf("Head(2): len %d", got.Len())
 	}
-	if got := tr.Head(99); len(got.Records) != 4 {
+	if got := tr.Head(99); got.Len() != 4 {
 		t.Error("Head beyond length must clamp")
 	}
-	if got := tr.Head(-1); len(got.Records) != 0 {
+	if got := tr.Head(-1); got.Len() != 0 {
 		t.Error("negative Head must be empty")
 	}
 	h := tr.Head(4)
-	h.Records[0].Offset = 999
-	if tr.Records[0].Offset == 999 {
+	h.off[0] = 999
+	if tr.At(0).Offset == 999 {
 		t.Error("Head must copy records")
 	}
 }
@@ -69,15 +69,18 @@ func TestHead(t *testing.T) {
 func TestScale(t *testing.T) {
 	tr := windowFixture()
 	fast := tr.Scale(0.5)
-	if fast.Records[3].Time != 150 {
-		t.Errorf("compressed time = %d", fast.Records[3].Time)
+	if fast.At(3).Time != 150 {
+		t.Errorf("compressed time = %d", fast.At(3).Time)
 	}
 	slow := tr.Scale(2)
-	if slow.Records[3].Time != 600 {
-		t.Errorf("stretched time = %d", slow.Records[3].Time)
+	if slow.At(3).Time != 600 {
+		t.Errorf("stretched time = %d", slow.At(3).Time)
 	}
-	if tr.Records[3].Time != 300 {
+	if tr.At(3).Time != 300 {
 		t.Error("Scale mutated the source")
+	}
+	if slow.MaxOffset() != tr.MaxOffset() {
+		t.Error("Scale must preserve MaxOffset")
 	}
 	if err := fast.Validate(); err != nil {
 		t.Errorf("scaled trace invalid: %v", err)
