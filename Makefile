@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench bench-json bench-baseline bench-check experiments ablation sensitivity fuzz fuzz-parse fuzz-replay golden clean
+.PHONY: all build test vet race serve serve-test bench bench-json bench-baseline bench-check experiments ablation sensitivity fuzz fuzz-parse fuzz-replay golden clean
 
 all: build test
 
@@ -19,6 +19,17 @@ test: vet
 # internal packages covers it plus every shared-state regression.
 race:
 	$(GO) test -race ./internal/...
+
+# Start the experiment daemon locally with the default settings.
+serve:
+	$(GO) run ./cmd/ipusimd
+
+# The experiment-service acceptance gate: every server lifecycle test plus
+# the 32-job soak (half cancelled mid-run, graceful drain, goroutine-leak
+# and snapshot-cache-integrity checks), all under the race detector, and
+# the daemon's own end-to-end boot/shutdown test.
+serve-test:
+	$(GO) test -race -count 1 ./internal/server ./cmd/ipusimd
 
 # Re-accept the golden metric snapshots after an intentional behaviour
 # change (inspect the diff in the test failure first).

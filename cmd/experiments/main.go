@@ -6,24 +6,30 @@
 // Usage:
 //
 //	experiments [-scale 0.05] [-seed 42] [-traces ts0,ads] [-schemes IPU]
-//	            [-pesweep] [-ablate] [-full] [-workers N]
+//	            [-pesweep] [-ablate] [-full] [-workers N] [-progress]
 //	            [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // -pesweep additionally runs the Fig. 13/14 endurance sweep (4 P/E
 // levels). -ablate runs the IPU design-choice ablation (ISR victim policy,
 // level hierarchy, intra-page update, adaptive combining). -full uses the
 // paper's full 65536-block geometry (slow, several GiB of memory).
+// -progress reports aggregated sweep progress on stderr; interrupting the
+// process (Ctrl-C / SIGTERM) cancels in-flight runs at the next request
+// boundary.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"ipusim/internal/core"
@@ -34,19 +40,20 @@ import (
 
 func main() {
 	var (
-		scale   = flag.Float64("scale", 0.05, "trace request-count scale in (0,1]")
-		seed    = flag.Int64("seed", 42, "trace synthesis seed")
-		traces  = flag.String("traces", "", "comma-separated trace names (default: all six)")
-		schemes = flag.String("schemes", "", "comma-separated schemes (default: Baseline,MGA,IPU)")
-		pesweep = flag.Bool("pesweep", false, "also run the Fig 13/14 P/E sweep")
-		ablate  = flag.Bool("ablate", false, "also run the IPU ablation study")
-		sens    = flag.String("sensitivity", "", "also sweep a device parameter: slcratio, gcthreshold, backlogcap or planes")
-		repl    = flag.Int("replicate", 0, "also run the matrix across N seeds and report mean +- std")
-		csvdir  = flag.String("csvdir", "", "also write every table as CSV into this directory")
-		full    = flag.Bool("full", false, "use the paper's full Table 2 geometry")
-		workers = flag.Int("workers", 0, "parallel simulations (default GOMAXPROCS)")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		scale    = flag.Float64("scale", 0.05, "trace request-count scale in (0,1]")
+		seed     = flag.Int64("seed", 42, "trace synthesis seed")
+		traces   = flag.String("traces", "", "comma-separated trace names (default: all six)")
+		schemes  = flag.String("schemes", "", "comma-separated schemes (default: Baseline,MGA,IPU)")
+		pesweep  = flag.Bool("pesweep", false, "also run the Fig 13/14 P/E sweep")
+		ablate   = flag.Bool("ablate", false, "also run the IPU ablation study")
+		sens     = flag.String("sensitivity", "", "also sweep a device parameter: slcratio, gcthreshold, backlogcap or planes")
+		repl     = flag.Int("replicate", 0, "also run the matrix across N seeds and report mean +- std")
+		csvdir   = flag.String("csvdir", "", "also write every table as CSV into this directory")
+		full     = flag.Bool("full", false, "use the paper's full Table 2 geometry")
+		workers  = flag.Int("workers", 0, "parallel simulations (default GOMAXPROCS)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		progress = flag.Bool("progress", false, "report aggregated sweep progress on stderr")
 	)
 	flag.Parse()
 	stopCPU := func() {}
@@ -65,7 +72,17 @@ func main() {
 			f.Close()
 		}
 	}
-	err := run(os.Stdout, *scale, *seed, *traces, *schemes, *pesweep, *ablate, *sens, *csvdir, *repl, *full, *workers)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	o := runOpts{
+		Scale: *scale, Seed: *seed, Traces: *traces, Schemes: *schemes,
+		PESweep: *pesweep, Ablate: *ablate, Sensitivity: *sens,
+		CSVDir: *csvdir, Replicate: *repl, Full: *full, Workers: *workers,
+	}
+	if *progress {
+		o.Progress = os.Stderr
+	}
+	err := run(ctx, os.Stdout, o)
+	stop()
 	stopCPU()
 	if *memProf != "" {
 		f, ferr := os.Create(*memProf)
@@ -99,7 +116,26 @@ func splitList(s string) []string {
 	return out
 }
 
-func run(out io.Writer, scale float64, seed int64, traces, schemes string, pesweep, ablate bool, sensitivity, csvDir string, replicate int, full bool, workers int) error {
+// runOpts carries every run flag; the zero value of a field means "flag
+// not set".
+type runOpts struct {
+	Scale       float64
+	Seed        int64
+	Traces      string
+	Schemes     string
+	PESweep     bool
+	Ablate      bool
+	Sensitivity string
+	CSVDir      string
+	Replicate   int
+	Full        bool
+	Workers     int
+	// Progress, when non-nil, receives aggregated sweep progress lines.
+	Progress io.Writer
+}
+
+func run(ctx context.Context, out io.Writer, o runOpts) error {
+	scale, seed, csvDir := o.Scale, o.Seed, o.CSVDir
 	emit := func(tab *metrics.Table) error {
 		if err := tab.Render(out); err != nil {
 			return err
@@ -119,7 +155,7 @@ func run(out io.Writer, scale float64, seed int64, traces, schemes string, peswe
 		return tab.WriteCSV(f)
 	}
 	fc := flash.DefaultConfig()
-	if full {
+	if o.Full {
 		fc = flash.PaperConfig()
 	}
 	fc.PreFillMLC = true // the evaluation runs on a preconditioned device
@@ -151,14 +187,17 @@ func run(out io.Writer, scale float64, seed int64, traces, schemes string, peswe
 
 	// Main matrix.
 	spec := core.MatrixSpec{
-		Traces:  splitList(traces),
-		Schemes: splitList(schemes),
+		Traces:  splitList(o.Traces),
+		Schemes: splitList(o.Schemes),
 		Scale:   scale,
 		Seed:    seed,
 		Flash:   &fc,
-		Workers: workers,
+		Workers: o.Workers,
 	}
-	results, err := core.RunMatrix(spec)
+	if o.Progress != nil {
+		spec.OnProgress = core.ProgressPrinter(o.Progress, 0)
+	}
+	results, err := core.RunMatrixContext(ctx, spec)
 	if err != nil {
 		return err
 	}
@@ -174,10 +213,10 @@ func run(out io.Writer, scale float64, seed int64, traces, schemes string, peswe
 		}
 	}
 
-	if pesweep {
+	if o.PESweep {
 		sweepSpec := spec
 		sweepSpec.PEBaselines = []int{1000, 2000, 4000, 8000}
-		sweep, err := core.RunMatrix(sweepSpec)
+		sweep, err := core.RunMatrixContext(ctx, sweepSpec)
 		if err != nil {
 			return err
 		}
@@ -190,10 +229,10 @@ func run(out io.Writer, scale float64, seed int64, traces, schemes string, peswe
 		}
 	}
 
-	if ablate {
+	if o.Ablate {
 		ablSpec := spec
 		ablSpec.Schemes = append([]string(nil), core.AblationSchemes...)
-		abl, err := core.RunMatrix(ablSpec)
+		abl, err := core.RunMatrixContext(ctx, ablSpec)
 		if err != nil {
 			return err
 		}
@@ -202,10 +241,10 @@ func run(out io.Writer, scale float64, seed int64, traces, schemes string, peswe
 		}
 	}
 
-	if sensitivity != "" {
+	if o.Sensitivity != "" {
 		sensSpec := spec
 		sensSpec.Schemes = nil // RunSensitivity defaults to Baseline vs IPU
-		tab, err := core.RunSensitivity(sensitivity, sensSpec)
+		tab, err := core.RunSensitivityContext(ctx, o.Sensitivity, sensSpec)
 		if err != nil {
 			return err
 		}
@@ -214,8 +253,8 @@ func run(out io.Writer, scale float64, seed int64, traces, schemes string, peswe
 		}
 	}
 
-	if replicate > 0 {
-		tab, err := core.ReplicationTable(spec, replicate)
+	if o.Replicate > 0 {
+		tab, err := core.ReplicationTableContext(ctx, spec, o.Replicate)
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -25,7 +27,7 @@ func TestSplitList(t *testing.T) {
 
 func TestRunSmallMatrix(t *testing.T) {
 	var out strings.Builder
-	err := run(&out, 0.002, 1, "ads,lun2", "Baseline,IPU", false, false, "", "", 0, false, 2)
+	err := run(context.Background(), &out, runOpts{Scale: 0.002, Seed: 1, Traces: "ads,lun2", Schemes: "Baseline,IPU", Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +52,7 @@ func TestRunSmallMatrix(t *testing.T) {
 
 func TestRunWithPESweep(t *testing.T) {
 	var out strings.Builder
-	err := run(&out, 0.002, 1, "ads", "IPU", true, false, "", "", 0, false, 2)
+	err := run(context.Background(), &out, runOpts{Scale: 0.002, Seed: 1, Traces: "ads", Schemes: "IPU", PESweep: true, Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,18 +65,39 @@ func TestRunWithPESweep(t *testing.T) {
 
 func TestRunUnknownTrace(t *testing.T) {
 	var out strings.Builder
-	if err := run(&out, 0.01, 1, "bogus", "", false, false, "", "", 0, false, 1); err == nil {
+	if err := run(context.Background(), &out, runOpts{Scale: 0.01, Seed: 1, Traces: "bogus", Workers: 1}); err == nil {
 		t.Fatal("unknown trace accepted")
 	}
 }
 
 func TestRunWithReplication(t *testing.T) {
 	var out strings.Builder
-	err := run(&out, 0.002, 1, "ads", "IPU", false, false, "", "", 2, false, 2)
+	err := run(context.Background(), &out, runOpts{Scale: 0.002, Seed: 1, Traces: "ads", Schemes: "IPU", Replicate: 2, Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "Replication over 2 seeds") {
 		t.Error("replication table missing")
+	}
+}
+
+func TestRunProgressOutput(t *testing.T) {
+	var out, prog strings.Builder
+	o := runOpts{Scale: 0.002, Seed: 1, Traces: "ads", Schemes: "IPU", Workers: 2, Progress: &prog}
+	if err := run(context.Background(), &out, o); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prog.String(), "(100.0%)") {
+		t.Errorf("progress output missing final snapshot:\n%s", prog.String())
+	}
+}
+
+func TestRunCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out strings.Builder
+	err := run(ctx, &out, runOpts{Scale: 0.002, Seed: 1, Traces: "ads", Schemes: "IPU", Workers: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

@@ -5,17 +5,24 @@
 //
 //	ipusim [-scheme IPU] [-trace ts0 | -file trace.csv] [-scale 0.05]
 //	       [-seed 42] [-pe 4000] [-full] [-printconfig] [-check full]
+//	       [-progress]
 //
 // -trace selects one of the six synthetic paper workloads; -file replays a
-// real trace in MSR-Cambridge CSV format instead.
+// real trace in MSR-Cambridge CSV format instead. -progress reports replay
+// progress on stderr while the run is in flight. Interrupting the process
+// (Ctrl-C / SIGTERM) cancels the replay cleanly at the next request
+// boundary.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"ipusim/internal/check"
@@ -25,79 +32,105 @@ import (
 	"ipusim/internal/trace"
 )
 
+// options carries every run flag; the zero value of a field means "flag
+// not set".
+type options struct {
+	ConfigPath  string
+	Scheme      string
+	Trace       string
+	File        string
+	Check       string
+	Scale       float64
+	Seed        int64
+	PE          int
+	QD          int
+	Full        bool
+	PrintConfig bool
+	Dist        bool
+	JSON        bool
+	// Progress, when non-nil, receives replay progress lines.
+	Progress io.Writer
+}
+
 func main() {
-	var (
-		schemeName  = flag.String("scheme", "IPU", "FTL scheme: Baseline, MGA or IPU")
-		traceName   = flag.String("trace", "ts0", "synthetic trace profile name")
-		file        = flag.String("file", "", "replay an MSR-format CSV trace file instead")
-		scale       = flag.Float64("scale", 0.05, "synthetic trace scale in (0,1]")
-		seed        = flag.Int64("seed", 42, "synthetic trace seed")
-		pe          = flag.Int("pe", 0, "override P/E baseline (0 = Table 2 default)")
-		full        = flag.Bool("full", false, "use the paper's full Table 2 geometry")
-		printConfig = flag.Bool("printconfig", false, "print Table 2 settings and exit")
-		dist        = flag.Bool("dist", false, "also print the response-time distribution (Fig 5)")
-		asJSON      = flag.Bool("json", false, "emit the result as JSON instead of a table")
-		qd          = flag.Int("qd", 0, "replay closed-loop at this queue depth (0 = open-loop trace replay)")
-		configPath  = flag.String("config", "", "load device/error configuration from a JSON file")
-		checkLevel  = flag.String("check", "", "invariant checking: off, shadow or full (slow; use for debugging, not benchmarks)")
-	)
+	var o options
+	flag.StringVar(&o.Scheme, "scheme", "IPU", "FTL scheme: Baseline, MGA or IPU")
+	flag.StringVar(&o.Trace, "trace", "ts0", "synthetic trace profile name")
+	flag.StringVar(&o.File, "file", "", "replay an MSR-format CSV trace file instead")
+	flag.Float64Var(&o.Scale, "scale", 0.05, "synthetic trace scale in (0,1]")
+	flag.Int64Var(&o.Seed, "seed", 42, "synthetic trace seed")
+	flag.IntVar(&o.PE, "pe", 0, "override P/E baseline (0 = Table 2 default)")
+	flag.BoolVar(&o.Full, "full", false, "use the paper's full Table 2 geometry")
+	flag.BoolVar(&o.PrintConfig, "printconfig", false, "print Table 2 settings and exit")
+	flag.BoolVar(&o.Dist, "dist", false, "also print the response-time distribution (Fig 5)")
+	flag.BoolVar(&o.JSON, "json", false, "emit the result as JSON instead of a table")
+	flag.IntVar(&o.QD, "qd", 0, "replay closed-loop at this queue depth (0 = open-loop trace replay)")
+	flag.StringVar(&o.ConfigPath, "config", "", "load device/error configuration from a JSON file")
+	flag.StringVar(&o.Check, "check", "", "invariant checking: off, shadow or full (slow; use for debugging, not benchmarks)")
+	progress := flag.Bool("progress", false, "report replay progress on stderr")
 	flag.Parse()
-	if err := run(os.Stdout, *configPath, *schemeName, *traceName, *file, *checkLevel, *scale, *seed, *pe, *qd, *full, *printConfig, *dist, *asJSON); err != nil {
+	if *progress {
+		o.Progress = os.Stderr
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Stdout, o); err != nil {
 		fmt.Fprintln(os.Stderr, "ipusim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out io.Writer, configPath, schemeName, traceName, file, checkLevel string, scale float64, seed int64, pe, qd int, full, printConfig, dist, asJSON bool) error {
+func run(ctx context.Context, out io.Writer, o options) error {
 	cfg := core.DefaultConfig()
-	if configPath != "" {
+	if o.ConfigPath != "" {
 		var err error
-		cfg, err = core.LoadConfigFile(configPath)
+		cfg, err = core.LoadConfigFile(o.ConfigPath)
 		if err != nil {
 			return err
 		}
-		if schemeName == "" {
-			schemeName = cfg.Scheme
+		if o.Scheme == "" {
+			o.Scheme = cfg.Scheme
 		}
 	}
-	if checkLevel != "" {
-		lvl, err := check.ParseLevel(checkLevel)
+	if o.Check != "" {
+		lvl, err := check.ParseLevel(o.Check)
 		if err != nil {
 			return err
 		}
 		cfg.Check = lvl
 	}
-	if full {
+	if o.Full {
 		cfg.Flash = flash.PaperConfig()
 		cfg.Flash.PreFillMLC = true
 	}
-	if pe > 0 {
-		cfg.Flash.PEBaseline = pe
+	if o.PE > 0 {
+		cfg.Flash.PEBaseline = o.PE
 	}
-	cfg.Scheme = schemeName
+	cfg.Scheme = o.Scheme
 
-	if printConfig {
+	if o.PrintConfig {
 		return core.Table2(&cfg.Flash).Render(out)
 	}
 
 	var tr *trace.Trace
-	if file != "" {
-		f, err := os.Open(file)
+	if o.File != "" {
+		f, err := os.Open(o.File)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		tr, err = trace.ParseMSR(file, f)
+		tr, err = trace.ParseMSR(o.File, f)
 		if err != nil {
 			return err
 		}
 	} else {
-		p, ok := trace.Profiles[traceName]
+		p, ok := trace.Profiles[o.Trace]
 		if !ok {
-			return fmt.Errorf("unknown trace %q (have %v)", traceName, trace.ProfileNames())
+			return fmt.Errorf("unknown trace %q (have %v)", o.Trace, trace.ProfileNames())
 		}
 		var err error
-		tr, err = trace.Generate(p, seed, scale)
+		tr, err = trace.Generate(p, o.Seed, o.Scale)
 		if err != nil {
 			return err
 		}
@@ -107,17 +140,20 @@ func run(out io.Writer, configPath, schemeName, traceName, file, checkLevel stri
 	if err != nil {
 		return err
 	}
+	if o.Progress != nil {
+		sim.OnProgress(0, core.ProgressPrinter(o.Progress, 0))
+	}
 	start := time.Now()
 	var res *core.Result
-	if qd > 0 {
-		res, err = sim.RunClosedLoop(tr, qd)
+	if o.QD > 0 {
+		res, err = sim.RunClosedLoopContext(ctx, tr, o.QD)
 	} else {
-		res, err = sim.Run(tr)
+		res, err = sim.RunContext(ctx, tr)
 	}
 	if err != nil {
 		return err
 	}
-	if asJSON {
+	if o.JSON {
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
 		return enc.Encode(res)
@@ -125,7 +161,7 @@ func run(out io.Writer, configPath, schemeName, traceName, file, checkLevel stri
 	if err := printResult(out, res, time.Since(start)); err != nil {
 		return err
 	}
-	if dist {
+	if o.Dist {
 		return printDistribution(out, sim)
 	}
 	return nil

@@ -1,7 +1,9 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -10,9 +12,12 @@ import (
 	"ipusim/internal/trace"
 )
 
+func bg() context.Context { return context.Background() }
+
 func TestRunPrintConfig(t *testing.T) {
 	var out strings.Builder
-	if err := run(&out, "", "IPU", "ts0", "", "", 0.01, 1, 0, 0, false, true, false, false); err != nil {
+	o := options{Scheme: "IPU", Trace: "ts0", Scale: 0.01, Seed: 1, PrintConfig: true}
+	if err := run(bg(), &out, o); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"Table 2", "Block number", "SLC read time"} {
@@ -24,7 +29,8 @@ func TestRunPrintConfig(t *testing.T) {
 
 func TestRunSyntheticTrace(t *testing.T) {
 	var out strings.Builder
-	if err := run(&out, "", "Baseline", "ads", "", "", 0.002, 1, 0, 0, false, false, false, false); err != nil {
+	o := options{Scheme: "Baseline", Trace: "ads", Scale: 0.002, Seed: 1}
+	if err := run(bg(), &out, o); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"Baseline on ads", "avg latency", "read error rate", "SLC erases"} {
@@ -36,7 +42,8 @@ func TestRunSyntheticTrace(t *testing.T) {
 
 func TestRunPEOverride(t *testing.T) {
 	var out strings.Builder
-	if err := run(&out, "", "IPU", "ads", "", "", 0.002, 1, 8000, 0, false, false, false, false); err != nil {
+	o := options{Scheme: "IPU", Trace: "ads", Scale: 0.002, Seed: 1, PE: 8000}
+	if err := run(bg(), &out, o); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "P/E 8000") {
@@ -59,7 +66,7 @@ func TestRunTraceFile(t *testing.T) {
 	}
 	f.Close()
 	var out strings.Builder
-	if err := run(&out, "", "MGA", "", path, "", 0, 0, 0, 0, false, false, false, false); err != nil {
+	if err := run(bg(), &out, options{Scheme: "MGA", File: path}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "MGA on") {
@@ -69,24 +76,25 @@ func TestRunTraceFile(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var out strings.Builder
-	if err := run(&out, "", "IPU", "nope", "", "", 0.01, 1, 0, 0, false, false, false, false); err == nil {
+	if err := run(bg(), &out, options{Scheme: "IPU", Trace: "nope", Scale: 0.01, Seed: 1}); err == nil {
 		t.Error("unknown trace accepted")
 	}
-	if err := run(&out, "", "Nope", "ts0", "", "", 0.01, 1, 0, 0, false, false, false, false); err == nil {
+	if err := run(bg(), &out, options{Scheme: "Nope", Trace: "ts0", Scale: 0.01, Seed: 1}); err == nil {
 		t.Error("unknown scheme accepted")
 	}
-	if err := run(&out, "", "IPU", "", "/does/not/exist.csv", "", 0, 0, 0, 0, false, false, false, false); err == nil {
+	if err := run(bg(), &out, options{Scheme: "IPU", File: "/does/not/exist.csv"}); err == nil {
 		t.Error("missing file accepted")
 	}
 }
 
 func TestRunJSON(t *testing.T) {
 	var out strings.Builder
-	if err := run(&out, "", "IPU", "ads", "", "", 0.002, 1, 0, 0, false, false, false, true); err != nil {
+	o := options{Scheme: "IPU", Trace: "ads", Scale: 0.002, Seed: 1, JSON: true}
+	if err := run(bg(), &out, o); err != nil {
 		t.Fatal(err)
 	}
 	var res map[string]any
-	if err := jsonUnmarshal(out.String(), &res); err != nil {
+	if err := json.Unmarshal([]byte(out.String()), &res); err != nil {
 		t.Fatalf("invalid JSON: %v", err)
 	}
 	if res["Scheme"] != "IPU" || res["Trace"] != "ads" {
@@ -97,11 +105,10 @@ func TestRunJSON(t *testing.T) {
 	}
 }
 
-func jsonUnmarshal(s string, v any) error { return json.Unmarshal([]byte(s), v) }
-
 func TestRunClosedLoopFlag(t *testing.T) {
 	var out strings.Builder
-	if err := run(&out, "", "IPU", "ads", "", "", 0.002, 1, 0, 4, false, false, false, false); err != nil {
+	o := options{Scheme: "IPU", Trace: "ads", Scale: 0.002, Seed: 1, QD: 4}
+	if err := run(bg(), &out, o); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "IPU on ads") {
@@ -111,31 +118,60 @@ func TestRunClosedLoopFlag(t *testing.T) {
 
 func TestRunCheckFlag(t *testing.T) {
 	var out strings.Builder
-	if err := run(&out, "", "IPU", "ads", "", "full", 0.001, 1, 0, 0, false, false, false, false); err != nil {
+	o := options{Scheme: "IPU", Trace: "ads", Scale: 0.001, Seed: 1, Check: "full"}
+	if err := run(bg(), &out, o); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "IPU on ads") {
 		t.Error("checked run missing report")
 	}
-	if err := run(&out, "", "IPU", "ads", "", "paranoid", 0.001, 1, 0, 0, false, false, false, false); err == nil {
+	o.Check = "paranoid"
+	if err := run(bg(), &out, o); err == nil {
 		t.Error("unknown check level accepted")
 	}
 }
 
 func TestRunWithConfigFile(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "cfg.json")
-	cfgJSON := `{"scheme":"Baseline","flash":{"blocks":512,"preFillMLC":false}}`
+	cfgJSON := `{"version":1,"scheme":"Baseline","flash":{"blocks":512,"preFillMLC":false}}`
 	if err := os.WriteFile(path, []byte(cfgJSON), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	var out strings.Builder
-	if err := run(&out, path, "", "ads", "", "", 0.002, 1, 0, 0, false, false, false, false); err != nil {
+	if err := run(bg(), &out, options{ConfigPath: path, Trace: "ads", Scale: 0.002, Seed: 1}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "Baseline on ads") {
 		t.Errorf("config scheme not applied:\n%s", out.String())
 	}
-	if err := run(&out, "/missing.json", "", "ads", "", "", 0.002, 1, 0, 0, false, false, false, false); err == nil {
+	if err := run(bg(), &out, options{ConfigPath: "/missing.json", Trace: "ads", Scale: 0.002, Seed: 1}); err == nil {
 		t.Error("missing config accepted")
+	}
+}
+
+func TestRunProgressFlag(t *testing.T) {
+	var out, prog strings.Builder
+	o := options{Scheme: "IPU", Trace: "ads", Scale: 0.002, Seed: 1, Progress: &prog}
+	if err := run(bg(), &out, o); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prog.String(), "(100.0%)") {
+		t.Errorf("progress output missing final snapshot:\n%s", prog.String())
+	}
+	if !strings.Contains(out.String(), "IPU on ads") {
+		t.Error("report missing alongside progress")
+	}
+}
+
+func TestRunCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out strings.Builder
+	err := run(ctx, &out, options{Scheme: "IPU", Trace: "ads", Scale: 0.002, Seed: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if out.Len() != 0 {
+		t.Errorf("cancelled run still printed a report:\n%s", out.String())
 	}
 }

@@ -1,0 +1,112 @@
+// Command ipusimd runs the experiment service: a long-running HTTP/JSON
+// daemon that accepts simulation jobs (single runs, matrices, sensitivity
+// sweeps), executes them on a bounded worker pool backed by the
+// precondition-snapshot cache, and exposes job lifecycle endpoints plus a
+// live progress stream.
+//
+// Usage:
+//
+//	ipusimd [-addr :8077] [-workers N] [-queue 64] [-timeout 10m]
+//	        [-drain 30s] [-scale 0.05] [-maxjobs 1024]
+//
+// Endpoints (see internal/server):
+//
+//	GET  /healthz               liveness probe
+//	GET  /v1/schemes            registered scheme names
+//	GET  /v1/stats              service counters
+//	GET  /v1/jobs               list jobs
+//	POST /v1/jobs               submit a job
+//	GET  /v1/jobs/{id}          job status
+//	POST /v1/jobs/{id}/cancel   cancel a job
+//	GET  /v1/jobs/{id}/result   result of a finished job
+//	GET  /v1/jobs/{id}/stream   live progress (server-sent events)
+//
+// On SIGINT/SIGTERM the daemon stops accepting jobs, drains in-flight
+// work for up to -drain, then cancels whatever remains and exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ipusim/internal/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8077", "listen address")
+		workers = flag.Int("workers", 0, "concurrent jobs (default GOMAXPROCS)")
+		queue   = flag.Int("queue", 64, "bounded job queue capacity (full queue returns 429)")
+		timeout = flag.Duration("timeout", 10*time.Minute, "default per-job wall-clock timeout")
+		drain   = flag.Duration("drain", 30*time.Second, "shutdown drain budget before in-flight jobs are cancelled")
+		scale   = flag.Float64("scale", 0.05, "default trace scale for jobs that omit it")
+		maxJobs = flag.Int("maxjobs", 1024, "retained job records (older terminal jobs are evicted)")
+	)
+	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *addr, *workers, *queue, *maxJobs, *timeout, *drain, *scale, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "ipusimd:", err)
+		os.Exit(1)
+	}
+}
+
+// run serves until ctx is cancelled (the signal context in production) or
+// the listener fails. A non-nil ready receives the bound address once the
+// daemon is listening — the test hook for -addr :0.
+func run(ctx context.Context, addr string, workers, queue, maxJobs int, timeout, drain time.Duration, scale float64, ready chan<- string) error {
+	svc := server.New(server.Options{
+		Workers:      workers,
+		QueueCap:     queue,
+		JobTimeout:   timeout,
+		DefaultScale: scale,
+		MaxJobs:      maxJobs,
+	})
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("ipusimd: serving on %s (workers %d, queue %d)", ln.Addr(), svc.Stats().Workers, queue)
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("ipusimd: shutting down (drain %v)", drain)
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	// Drain jobs first so in-flight work finishes (or is cancelled at the
+	// deadline), then close the HTTP listener: streams of finishing jobs
+	// stay readable during the drain.
+	svcErr := svc.Shutdown(drainCtx)
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	if svcErr != nil {
+		log.Printf("ipusimd: drain cut short: %v (in-flight jobs cancelled)", svcErr)
+	}
+	log.Printf("ipusimd: bye")
+	return nil
+}

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDaemonLifecycle boots the daemon on an ephemeral port, runs one job
+// through the HTTP API end to end, then shuts it down via context
+// cancellation — the same path a SIGINT takes.
+func TestDaemonLifecycle(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run(ctx, "127.0.0.1:0", 2, 8, 16, time.Minute, 30*time.Second, 0.01, ready)
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-errCh:
+		t.Fatalf("daemon exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: HTTP %d", resp.StatusCode)
+	}
+
+	resp, err = http.Post(base+"/v1/jobs", "application/json",
+		strings.NewReader(`{"kind":"run","scheme":"IPU","trace":"ads","scale":0.002,"seed":3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var job struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || job.ID == "" {
+		t.Fatalf("submit: HTTP %d, job %+v", resp.StatusCode, job)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + job.ID + "/result")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode == http.StatusOK {
+			var res struct {
+				Result map[string]any `json:"result"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if res.Result["Scheme"] != "IPU" {
+				t.Fatalf("result = %v, want an IPU run", res.Result["Scheme"])
+			}
+			break
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("result: HTTP %d", resp.StatusCode)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never finished")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	cancel()
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+}
+
+// TestDaemonBadAddr asserts a bind failure surfaces as an error instead of
+// a hang.
+func TestDaemonBadAddr(t *testing.T) {
+	err := run(context.Background(), "256.0.0.1:99999", 1, 1, 1, time.Second, time.Second, 0.01, nil)
+	if err == nil {
+		t.Fatal("invalid listen address accepted")
+	}
+}

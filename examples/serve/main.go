@@ -1,0 +1,101 @@
+// Serve client: submit one job to a running ipusimd and follow its
+// progress stream until the result is ready.
+//
+// Start the daemon first (`make serve`), then:
+//
+//	go run ./examples/serve [-addr localhost:8077]
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:8077", "ipusimd address")
+	flag.Parse()
+	base := "http://" + *addr
+
+	// Submit: HTTP 202 + the job record. A full queue answers 429 with a
+	// Retry-After header; production clients back off and resubmit.
+	body := `{"kind":"run","scheme":"IPU","trace":"ts0","scale":0.02,"seed":7}`
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var job struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		log.Fatalf("submit: HTTP %d", resp.StatusCode)
+	}
+	fmt.Printf("submitted %s (%s)\n", job.ID, job.State)
+
+	// Follow the SSE progress stream: one JSON job snapshot per event,
+	// ending when the job reaches a terminal state.
+	resp, err = http.Get(base + "/v1/jobs/" + job.ID + "/stream")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line, ok := strings.CutPrefix(sc.Text(), "data: ")
+		if !ok {
+			continue
+		}
+		var v struct {
+			State    string  `json:"state"`
+			Frac     float64 `json:"frac"`
+			Progress struct {
+				Replayed int   `json:"Replayed"`
+				Total    int   `json:"Total"`
+				GCs      int64 `json:"GCs"`
+			} `json:"progress"`
+		}
+		if err := json.Unmarshal([]byte(line), &v); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-9s %6.1f%%  %d/%d requests, %d GCs\n",
+			v.State, 100*v.Frac, v.Progress.Replayed, v.Progress.Total, v.Progress.GCs)
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Fetch the result (200 once done; 202 pending, 409 failed/cancelled).
+	resp, err = http.Get(base + "/v1/jobs/" + job.ID + "/result")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("result: HTTP %d", resp.StatusCode)
+	}
+	var out struct {
+		Result struct {
+			Scheme        string
+			Trace         string
+			Requests      int64
+			AvgLatency    int64
+			ReadErrorRate float64
+		} `json:"result"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		log.Fatal(err)
+	}
+	r := out.Result
+	fmt.Printf("%s on %s: %d requests, avg latency %v, read error rate %.2e\n",
+		r.Scheme, r.Trace, r.Requests, time.Duration(r.AvgLatency), r.ReadErrorRate)
+}

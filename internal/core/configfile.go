@@ -5,10 +5,18 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"ipusim/internal/check"
 )
+
+// ConfigSchemaVersion is the config file schema this build reads. Files
+// state it in a top-level "version" field; an absent field is read as
+// version 1 (the pre-versioning schema is identical), any other value is
+// rejected so a future-schema file fails loudly instead of being half
+// applied.
+const ConfigSchemaVersion = 1
 
 // JSONDuration unmarshals either a Go duration string ("300us", "10ms") or
 // a plain number of nanoseconds, so config files stay human-readable.
@@ -42,7 +50,9 @@ func (d JSONDuration) MarshalJSON() ([]byte, error) {
 // absent fields keep the evaluation defaults, so a config file only states
 // what it changes.
 type fileConfig struct {
-	Scheme string `json:"scheme,omitempty"`
+	// Version is the schema version (ConfigSchemaVersion). Absent means 1.
+	Version *int   `json:"version,omitempty"`
+	Scheme  string `json:"scheme,omitempty"`
 	// Check selects the invariant-checking level: "off", "shadow" or
 	// "full" (see internal/check). Absent means off.
 	Check string `json:"check,omitempty"`
@@ -88,16 +98,37 @@ type fileConfig struct {
 	} `json:"error"`
 }
 
+// unknownFieldKey extracts the offending key from encoding/json's
+// DisallowUnknownFields error, so the wrapped error can name it directly.
+func unknownFieldKey(err error) (string, bool) {
+	const prefix = `json: unknown field `
+	msg := err.Error()
+	if rest, ok := strings.CutPrefix(msg, prefix); ok {
+		return strings.Trim(rest, `"`), true
+	}
+	return "", false
+}
+
 // LoadConfig reads a JSON configuration, overlaying it on the evaluation
-// defaults (DefaultConfig). Unknown fields are rejected so typos fail
-// loudly. The resulting configuration is validated.
+// defaults (DefaultConfig). The schema is versioned ("version" field,
+// ConfigSchemaVersion); unknown fields are rejected with an error naming
+// the offending key, so typos fail loudly. The resulting configuration is
+// validated.
 func LoadConfig(r io.Reader) (Config, error) {
 	cfg := DefaultConfig()
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
 	var fc fileConfig
 	if err := dec.Decode(&fc); err != nil {
+		if key, ok := unknownFieldKey(err); ok {
+			return cfg, fmt.Errorf("core: config: unknown key %q (schema version %d): %w",
+				key, ConfigSchemaVersion, err)
+		}
 		return cfg, fmt.Errorf("core: config: %w", err)
+	}
+	if fc.Version != nil && *fc.Version != ConfigSchemaVersion {
+		return cfg, fmt.Errorf("core: config: unsupported schema version %d (this build reads version %d)",
+			*fc.Version, ConfigSchemaVersion)
 	}
 	if fc.Scheme != "" {
 		cfg.Scheme = fc.Scheme

@@ -142,3 +142,53 @@ func TestJSONDurationMarshal(t *testing.T) {
 		t.Errorf("marshal = %s", b)
 	}
 }
+
+func TestLoadConfigSchemaVersion(t *testing.T) {
+	// The current version is accepted.
+	cfg, err := LoadConfig(strings.NewReader(`{"version": 1, "scheme": "MGA"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Scheme != "MGA" {
+		t.Errorf("scheme = %q", cfg.Scheme)
+	}
+	// An absent version reads as version 1 (the pre-versioning schema).
+	if _, err := LoadConfig(strings.NewReader(`{"scheme": "MGA"}`)); err != nil {
+		t.Errorf("unversioned config rejected: %v", err)
+	}
+	// Any other version is rejected, naming both versions.
+	_, err = LoadConfig(strings.NewReader(`{"version": 2}`))
+	if err == nil {
+		t.Fatal("future schema version accepted")
+	}
+	if !strings.Contains(err.Error(), "version 2") || !strings.Contains(err.Error(), "version 1") {
+		t.Errorf("version error %q does not name both versions", err)
+	}
+}
+
+func TestLoadConfigUnknownKeyNamed(t *testing.T) {
+	_, err := LoadConfig(strings.NewReader(`{"version": 1, "shceme": "IPU"}`))
+	if err == nil {
+		t.Fatal("unknown key accepted")
+	}
+	if !strings.Contains(err.Error(), `"shceme"`) {
+		t.Errorf("error %q does not name the offending key", err)
+	}
+	_, err = LoadConfig(strings.NewReader(`{"flash": {"blocksss": 10}}`))
+	if err == nil {
+		t.Fatal("unknown nested key accepted")
+	}
+	if !strings.Contains(err.Error(), `"blocksss"`) {
+		t.Errorf("error %q does not name the offending nested key", err)
+	}
+}
+
+func TestLoadConfigExampleFile(t *testing.T) {
+	cfg, err := LoadConfigFile(filepath.Join("..", "..", "configs", "example.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Scheme != "IPU" {
+		t.Errorf("scheme = %q", cfg.Scheme)
+	}
+}

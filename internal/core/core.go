@@ -6,6 +6,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -17,8 +19,10 @@ import (
 	"ipusim/internal/trace"
 )
 
-// SchemeNames lists the comparison counterparts in the paper's order.
-var SchemeNames = []string{"Baseline", "MGA", "IPU"}
+// ErrReleased reports use of a Simulator after Release handed its device
+// back to the snapshot pool. A released device may be overwritten in place
+// by a later job at any moment, so every entry point refuses to touch it.
+var ErrReleased = errors.New("core: simulator used after Release")
 
 // Config assembles one simulation run.
 type Config struct {
@@ -48,15 +52,51 @@ func DefaultConfig() Config {
 	}
 }
 
+// Progress is a point-in-time view of a running replay, delivered to the
+// callback registered with OnProgress (or MatrixSpec.OnProgress).
+type Progress struct {
+	// Replayed counts host requests completed so far; Total is the
+	// request count of the trace (or, for matrix sweeps, of every run in
+	// the sweep combined).
+	Replayed, Total int
+	// SimTime is the device clock (ns) of the most recent completion.
+	SimTime int64
+	// GCs counts garbage collections triggered so far (SLC + MLC).
+	GCs int64
+}
+
+// Frac returns completion as a fraction in [0, 1].
+func (p Progress) Frac() float64 {
+	if p.Total == 0 {
+		return 0
+	}
+	return float64(p.Replayed) / float64(p.Total)
+}
+
+// ProgressFunc receives periodic Progress snapshots during a replay. It is
+// called synchronously from the replay loop (concurrently from many
+// goroutines during matrix sweeps), so it must be fast and, for sweeps,
+// safe for concurrent use.
+type ProgressFunc func(Progress)
+
+// DefaultProgressEvery is the callback granularity, in requests, used when
+// OnProgress is given a non-positive interval.
+const DefaultProgressEvery = 4096
+
 // Simulator replays block I/O requests against one scheme instance.
 type Simulator struct {
 	cfg    Config
 	scheme scheme.Scheme
 
 	// key and pooled record the snapshot-cache identity of the scheme
-	// instance, so release can hand it back for recycling.
+	// instance, so Release can hand it back for recycling.
 	key    snapshotKey
 	pooled bool
+
+	// progress, if non-nil, is invoked every progressEvery requests (and
+	// at completion) by Run/RunClosedLoop.
+	progress      ProgressFunc
+	progressEvery int
 }
 
 // New builds a simulator. The flash configuration is copied, so one Config
@@ -75,10 +115,11 @@ func New(cfg Config) (*Simulator, error) {
 	return &Simulator{cfg: cfg, scheme: s, key: key, pooled: true}, nil
 }
 
-// newFresh builds a simulator from scratch, bypassing the snapshot cache.
-// It exists for the clone-fidelity differential tests, which compare a
-// cloned device's replay against a freshly constructed one.
-func newFresh(cfg Config) (*Simulator, error) {
+// NewFresh builds a simulator from scratch, bypassing the snapshot cache.
+// It exists for clone-fidelity differentials — comparing a cloned or
+// recycled device's replay against a freshly constructed one — and for
+// callers that must not share template state with anyone.
+func NewFresh(cfg Config) (*Simulator, error) {
 	s, err := buildScheme(cfg)
 	if err != nil {
 		return nil, err
@@ -87,73 +128,111 @@ func newFresh(cfg Config) (*Simulator, error) {
 	return &Simulator{cfg: cfg, scheme: s}, nil
 }
 
-// buildScheme constructs (and, per cfg.Flash.PreFillMLC, preconditions) a
-// scheme instance from scratch.
-func buildScheme(cfg Config) (scheme.Scheme, error) {
-	fc := cfg.Flash // copy: the scheme retains a pointer
-	em := cfg.Error
-	switch cfg.Scheme {
-	case "Baseline":
-		return scheme.NewBaseline(&fc, &em)
-	case "MGA":
-		return scheme.NewMGA(&fc, &em)
-	default:
-		// IPU and its ablation/extension variants (IPU-greedyGC,
-		// IPU-flat, IPU-noupdate, IPU-AC).
-		v, ok := scheme.IPUVariants()[cfg.Scheme]
-		if !ok {
-			return nil, fmt.Errorf("core: unknown scheme %q (want Baseline, MGA, IPU or an IPU variant)", cfg.Scheme)
-		}
-		return scheme.NewIPUVariant(&fc, &em, v)
-	}
-}
-
-// Scheme returns the underlying FTL.
+// Scheme returns the underlying FTL (nil after Release).
 func (s *Simulator) Scheme() scheme.Scheme { return s.scheme }
 
-// release hands the scheme instance back to the snapshot cache's free pool
-// for recycling and invalidates the simulator. Only internal drivers that
-// fully own their simulators (RunMatrix) may call it: a released device is
-// overwritten in place by a later job.
-func (s *Simulator) release() {
-	if !s.pooled || s.scheme == nil {
+// OnProgress registers fn to receive a Progress snapshot every `every`
+// completed requests (and once at completion) during Run and
+// RunClosedLoop. A non-positive interval means DefaultProgressEvery; a nil
+// fn unregisters. The steady-state replay loop pays only a nil check when
+// no callback is registered.
+func (s *Simulator) OnProgress(every int, fn ProgressFunc) {
+	if every <= 0 {
+		every = DefaultProgressEvery
+	}
+	s.progressEvery = every
+	s.progress = fn
+}
+
+// Release hands the scheme instance back to the snapshot cache's free pool
+// for recycling and invalidates the simulator: every later Write, Read or
+// Run on it fails with ErrReleased. Only callers that fully own the
+// simulator (RunMatrix workers, daemon jobs) may call it — a released
+// device is overwritten in place by a later job. Release is idempotent.
+func (s *Simulator) Release() {
+	if s.scheme == nil {
 		return
 	}
-	d := s.scheme.Device()
-	d.Check = nil
-	d.TestHooks.AfterHostWrite = nil
-	releaseScheme(s.key, s.scheme)
+	if s.pooled {
+		d := s.scheme.Device()
+		d.Check = nil
+		d.TestHooks.AfterHostWrite = nil
+		releaseScheme(s.key, s.scheme)
+	}
 	s.scheme = nil
 }
 
-// Write services one host write request.
-func (s *Simulator) Write(now int64, offset int64, size int) int64 {
-	return s.scheme.Write(now, offset, size)
+// Write services one host write request, returning its completion time.
+func (s *Simulator) Write(now int64, offset int64, size int) (int64, error) {
+	if s.scheme == nil {
+		return 0, ErrReleased
+	}
+	return s.scheme.Write(now, offset, size), nil
 }
 
-// Read services one host read request.
-func (s *Simulator) Read(now int64, offset int64, size int) int64 {
-	return s.scheme.Read(now, offset, size)
+// Read services one host read request, returning its completion time.
+func (s *Simulator) Read(now int64, offset int64, size int) (int64, error) {
+	if s.scheme == nil {
+		return 0, ErrReleased
+	}
+	return s.scheme.Read(now, offset, size), nil
+}
+
+// emitProgress delivers one Progress snapshot to the registered callback.
+func (s *Simulator) emitProgress(replayed, total int, simTime int64) {
+	m := s.scheme.Metrics()
+	s.progress(Progress{
+		Replayed: replayed,
+		Total:    total,
+		SimTime:  simTime,
+		GCs:      m.GCs(),
+	})
 }
 
 // Run replays a trace and returns the aggregated result. Offsets wrap
 // modulo the logical space, so traces larger than the device still replay.
+// It is RunContext under context.Background().
 func (s *Simulator) Run(tr *trace.Trace) (*Result, error) {
+	return s.RunContext(context.Background(), tr)
+}
+
+// RunContext replays a trace, checking ctx between requests: the replay
+// stops within one request boundary of cancellation and returns ctx's
+// error. Contexts that cannot be cancelled (context.Background) cost the
+// loop nothing. A periodic callback registered with OnProgress reports
+// replay progress.
+func (s *Simulator) RunContext(ctx context.Context, tr *trace.Trace) (*Result, error) {
+	if s.scheme == nil {
+		return nil, ErrReleased
+	}
 	if err := tr.Validate(); err != nil {
 		return nil, err
 	}
-	for i := 0; i < tr.Len(); i++ {
+	done := ctx.Done()
+	n := tr.Len()
+	var last int64
+	for i := 0; i < n; i++ {
+		if done != nil {
+			select {
+			case <-done:
+				return nil, ctx.Err()
+			default:
+			}
+		}
 		r := tr.At(i)
 		if r.Op == trace.OpWrite {
-			s.scheme.Write(r.Time, r.Offset, r.Size)
+			last = s.scheme.Write(r.Time, r.Offset, r.Size)
 		} else {
-			s.scheme.Read(r.Time, r.Offset, r.Size)
+			last = s.scheme.Read(r.Time, r.Offset, r.Size)
+		}
+		if s.progress != nil && ((i+1)%s.progressEvery == 0 || i+1 == n) {
+			s.emitProgress(i+1, n, last)
 		}
 	}
 	if err := s.checkFinal(); err != nil {
 		return nil, err
 	}
-	return s.Result(tr.Name, tr.Len()), nil
+	return s.Result(tr.Name, n), nil
 }
 
 // checkFinal runs the attached invariant checker's end-of-run sweep.
@@ -167,20 +246,39 @@ func (s *Simulator) checkFinal() error {
 }
 
 // RunClosedLoop replays a trace with a bounded number of outstanding
-// requests: request i is not issued before request i-depth has completed,
-// the way a benchmark driver with a fixed queue depth behaves (in contrast
-// to Run's open-loop replay, which issues at trace timestamps regardless
-// of completions). Under saturation the closed loop self-paces instead of
-// building unbounded queues, exposing the device's sustainable throughput.
+// requests. It is RunClosedLoopContext under context.Background().
 func (s *Simulator) RunClosedLoop(tr *trace.Trace, depth int) (*Result, error) {
+	return s.RunClosedLoopContext(context.Background(), tr, depth)
+}
+
+// RunClosedLoopContext replays a trace with a bounded number of
+// outstanding requests: request i is not issued before request i-depth has
+// completed, the way a benchmark driver with a fixed queue depth behaves
+// (in contrast to Run's open-loop replay, which issues at trace timestamps
+// regardless of completions). Under saturation the closed loop self-paces
+// instead of building unbounded queues, exposing the device's sustainable
+// throughput. Cancellation and progress reporting behave as in RunContext.
+func (s *Simulator) RunClosedLoopContext(ctx context.Context, tr *trace.Trace, depth int) (*Result, error) {
+	if s.scheme == nil {
+		return nil, ErrReleased
+	}
 	if depth < 1 {
 		return nil, fmt.Errorf("core: queue depth %d must be at least 1", depth)
 	}
 	if err := tr.Validate(); err != nil {
 		return nil, err
 	}
+	done := ctx.Done()
+	n := tr.Len()
 	ring := make([]int64, depth)
-	for i := 0; i < tr.Len(); i++ {
+	for i := 0; i < n; i++ {
+		if done != nil {
+			select {
+			case <-done:
+				return nil, ctx.Err()
+			default:
+			}
+		}
 		r := tr.At(i)
 		issue := r.Time
 		if gate := ring[i%depth]; gate > issue {
@@ -193,15 +291,21 @@ func (s *Simulator) RunClosedLoop(tr *trace.Trace, depth int) (*Result, error) {
 			end = s.scheme.Read(issue, r.Offset, r.Size)
 		}
 		ring[i%depth] = end
+		if s.progress != nil && ((i+1)%s.progressEvery == 0 || i+1 == n) {
+			s.emitProgress(i+1, n, end)
+		}
 	}
 	if err := s.checkFinal(); err != nil {
 		return nil, err
 	}
-	return s.Result(tr.Name, tr.Len()), nil
+	return s.Result(tr.Name, n), nil
 }
 
-// Result snapshots the run's statistics.
+// Result snapshots the run's statistics. It returns nil after Release.
 func (s *Simulator) Result(traceName string, requests int) *Result {
+	if s.scheme == nil {
+		return nil
+	}
 	d := s.scheme.Device()
 	m := s.scheme.Metrics()
 	mm := ftl.NewMemoryModel(d.Cfg)

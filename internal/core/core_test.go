@@ -105,11 +105,17 @@ func TestWritePassthrough(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wEnd := sim.Write(0, 0, 8192)
+	wEnd, err := sim.Write(0, 0, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if wEnd <= 0 {
 		t.Fatal("write did not advance time")
 	}
-	rEnd := sim.Read(wEnd, 0, 8192)
+	rEnd, err := sim.Read(wEnd, 0, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if rEnd <= wEnd {
 		t.Fatal("read did not advance time")
 	}

@@ -1,9 +1,12 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"ipusim/internal/flash"
 	"ipusim/internal/trace"
@@ -28,6 +31,16 @@ type MatrixSpec struct {
 	Flash *flash.Config
 	// Workers bounds concurrent runs; 0 means GOMAXPROCS.
 	Workers int
+	// OnProgress, if set, receives aggregated Progress snapshots while the
+	// sweep runs: Replayed/Total count requests across every run in the
+	// sweep combined, GCs accumulates garbage collections across runs, and
+	// SimTime is the device clock of the reporting run. The callback is
+	// invoked concurrently from worker goroutines and must be safe for
+	// concurrent use.
+	OnProgress ProgressFunc
+	// ProgressEvery is the per-run callback granularity in requests;
+	// non-positive means DefaultProgressEvery.
+	ProgressEvery int
 }
 
 // normalize fills defaults.
@@ -88,6 +101,14 @@ func ResetTraceCache() {
 	traceCacheMu.Unlock()
 }
 
+// SyntheticTrace returns the synthesised trace for a profile through the
+// bounded trace cache: repeated requests for the same (name, seed, scale)
+// share one immutable instance. Long-running services use it so concurrent
+// jobs over the same workload do not regenerate millions of records each.
+func SyntheticTrace(name string, seed int64, scale float64) (*trace.Trace, error) {
+	return cachedTrace(name, seed, scale)
+}
+
 // cachedTrace returns the synthesised trace for a profile, generating and
 // caching it on first use and evicting the least recently used trace
 // beyond the cache cap.
@@ -135,12 +156,24 @@ func cachedTrace(name string, seed int64, scale float64) (*trace.Trace, error) {
 	return tr, nil
 }
 
-// RunMatrix executes every (trace, scheme, P/E) combination of the spec on
-// a fixed pool of spec.Workers goroutines. Each trace is synthesised at
-// most once per (name, seed, scale) — cached across calls — and shared
-// read-only by the scheme runs. Results come back sorted by (trace order,
-// P/E, scheme order), independent of scheduling.
+// RunMatrix executes every (trace, scheme, P/E) combination of the spec.
+// It is RunMatrixContext under context.Background().
 func RunMatrix(spec MatrixSpec) ([]*Result, error) {
+	return RunMatrixContext(context.Background(), spec)
+}
+
+// RunMatrixContext executes every (trace, scheme, P/E) combination of the
+// spec on a fixed pool of spec.Workers goroutines. Each trace is
+// synthesised at most once per (name, seed, scale) — cached across calls —
+// and shared read-only by the scheme runs. Results come back sorted by
+// (trace order, P/E, scheme order), independent of scheduling.
+//
+// Cancelling ctx stops every in-flight run within one request boundary and
+// returns ctx's error; the partially replayed devices are still returned
+// to the snapshot cache's free pool (a recycled device is restored in
+// place before reuse, so a partial replay cannot leak state into a later
+// job).
+func RunMatrixContext(ctx context.Context, spec MatrixSpec) ([]*Result, error) {
 	spec.normalize()
 
 	type job struct {
@@ -159,13 +192,19 @@ func RunMatrix(spec MatrixSpec) ([]*Result, error) {
 	}
 
 	var jobs []job
+	var totalRequests int64
 	for ti := range spec.Traces {
 		for _, pe := range spec.PEBaselines {
 			for si := range spec.Schemes {
 				jobs = append(jobs, job{schemeIdx: si, tr: traces[ti], pe: pe})
+				totalRequests += int64(traces[ti].Len())
 			}
 		}
 	}
+
+	// Aggregated sweep progress: every run's per-interval deltas land in
+	// shared atomics, and each callback reports the sweep-wide totals.
+	var replayed, gcs atomic.Int64
 
 	results := make([]*Result, len(jobs))
 	errs := make([]error, len(jobs))
@@ -184,15 +223,36 @@ func RunMatrix(spec MatrixSpec) ([]*Result, error) {
 			errs[i] = err
 			return
 		}
-		res, err := sim.Run(j.tr)
+		if spec.OnProgress != nil {
+			var prevReplayed int
+			var prevGCs int64
+			sim.OnProgress(spec.ProgressEvery, func(p Progress) {
+				r := replayed.Add(int64(p.Replayed - prevReplayed))
+				g := gcs.Add(p.GCs - prevGCs)
+				prevReplayed, prevGCs = p.Replayed, p.GCs
+				spec.OnProgress(Progress{
+					Replayed: int(r),
+					Total:    int(totalRequests),
+					SimTime:  p.SimTime,
+					GCs:      g,
+				})
+			})
+		}
+		res, err := sim.RunContext(ctx, j.tr)
 		if err != nil {
+			// A cancelled run stopped between requests, so its device is
+			// structurally consistent and can rejoin the free pool; any
+			// other failure drops the device on the floor.
+			if errors.Is(err, ctx.Err()) && ctx.Err() != nil {
+				sim.Release()
+			}
 			errs[i] = err
 			return
 		}
 		// The Result holds only values, so the device can be recycled: the
 		// snapshot cache restores it in place for a later same-key job
 		// instead of cutting a fresh clone.
-		sim.release()
+		sim.Release()
 		res.PEBaseline = cfg.Flash.PEBaseline
 		results[i] = res
 	}
@@ -212,11 +272,19 @@ func RunMatrix(spec MatrixSpec) ([]*Result, error) {
 			}
 		}()
 	}
+dispatch:
 	for i := range jobs {
-		next <- i
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

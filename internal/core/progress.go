@@ -1,0 +1,34 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// ProgressPrinter returns a ProgressFunc that renders snapshots to w as
+// single lines, throttled to at most one line per interval (non-positive
+// means 200ms) with the final snapshot always printed. The returned
+// function is safe for concurrent use, so it can serve both a single
+// replay's OnProgress and a MatrixSpec.OnProgress invoked from many
+// workers.
+func ProgressPrinter(w io.Writer, interval time.Duration) ProgressFunc {
+	if interval <= 0 {
+		interval = 200 * time.Millisecond
+	}
+	var mu sync.Mutex
+	var last time.Time
+	return func(p Progress) {
+		mu.Lock()
+		defer mu.Unlock()
+		now := time.Now()
+		if p.Replayed < p.Total && now.Sub(last) < interval {
+			return
+		}
+		last = now
+		fmt.Fprintf(w, "progress: %d/%d requests (%.1f%%)  sim %v  GCs %d\n",
+			p.Replayed, p.Total, 100*p.Frac(),
+			time.Duration(p.SimTime).Round(time.Millisecond), p.GCs)
+	}
+}

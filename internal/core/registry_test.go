@@ -1,0 +1,110 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"ipusim/internal/errmodel"
+	"ipusim/internal/flash"
+	"ipusim/internal/scheme"
+	"ipusim/internal/trace"
+)
+
+// TestRegistryBuiltins asserts the registry carries the paper schemes (in
+// the paper's order, from which SchemeNames derives) followed by every IPU
+// variant.
+func TestRegistryBuiltins(t *testing.T) {
+	names := Schemes()
+	if len(names) < 3 {
+		t.Fatalf("registry has %d schemes, want at least the paper's three", len(names))
+	}
+	for i, want := range []string{"Baseline", "MGA", "IPU"} {
+		if names[i] != want {
+			t.Fatalf("Schemes()[%d] = %q, want %q", i, names[i], want)
+		}
+		if SchemeNames[i] != want {
+			t.Fatalf("SchemeNames[%d] = %q, want %q", i, SchemeNames[i], want)
+		}
+	}
+	if len(SchemeNames) != 3 {
+		t.Fatalf("SchemeNames = %v, want exactly the paper's three", SchemeNames)
+	}
+	reg := map[string]bool{}
+	for _, n := range names {
+		reg[n] = true
+	}
+	for v := range scheme.IPUVariants() {
+		if !reg[v] {
+			t.Fatalf("IPU variant %q not registered", v)
+		}
+	}
+}
+
+// TestRegisterSchemePlugsIntoNew registers an external scheme and builds a
+// simulator with it through the ordinary front door — the point of the
+// registry: no core edits to add a counterpart.
+func TestRegisterSchemePlugsIntoNew(t *testing.T) {
+	const name = "IPU-registry-test"
+	RegisterScheme(name, func(fc *flash.Config, em *errmodel.Model) (scheme.Scheme, error) {
+		v := scheme.DefaultIPUVariant()
+		v.Name = name
+		return scheme.NewIPUVariant(fc, em, v)
+	})
+	found := false
+	for _, n := range Schemes() {
+		if n == name {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("registered scheme %q missing from Schemes()", name)
+	}
+
+	cfg := DefaultConfig()
+	cfg.Flash = snapshotFlash()
+	cfg.Scheme = name
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.Generate(trace.Profiles["ts0"], 2, 0.002)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(tr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRegisterSchemeConflicts asserts registration misuse panics.
+func TestRegisterSchemeConflicts(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	dummy := func(fc *flash.Config, em *errmodel.Model) (scheme.Scheme, error) {
+		return scheme.NewBaseline(fc, em)
+	}
+	mustPanic("duplicate", func() { RegisterScheme("IPU", dummy) })
+	mustPanic("empty name", func() { RegisterScheme("", dummy) })
+	mustPanic("nil builder", func() { RegisterScheme("x-nil", nil) })
+}
+
+// TestUnknownSchemeError asserts the lookup error names the registry.
+func TestUnknownSchemeError(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Flash = snapshotFlash()
+	cfg.Scheme = "no-such-scheme"
+	_, err := New(cfg)
+	if err == nil {
+		t.Fatal("no error for unknown scheme")
+	}
+	if !strings.Contains(err.Error(), "no-such-scheme") || !strings.Contains(err.Error(), "Baseline") {
+		t.Fatalf("error %q does not name the scheme and the registered set", err)
+	}
+}

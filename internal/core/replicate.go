@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -49,11 +50,18 @@ type Replication struct {
 	Erases  ReplicaStats
 }
 
-// RunReplicated runs the spec's matrix with n different seeds (spec.Seed,
-// spec.Seed+1, ...) and aggregates mean and standard deviation of the
-// headline metrics per (trace, scheme). Use it to confirm the evaluation's
-// conclusions are not artefacts of one synthetic trace instance.
+// RunReplicated runs the spec's matrix with n different seeds. It is
+// RunReplicatedContext under context.Background().
 func RunReplicated(spec MatrixSpec, n int) (map[[2]string]Replication, error) {
+	return RunReplicatedContext(context.Background(), spec, n)
+}
+
+// RunReplicatedContext runs the spec's matrix with n different seeds
+// (spec.Seed, spec.Seed+1, ...) and aggregates mean and standard deviation
+// of the headline metrics per (trace, scheme). Use it to confirm the
+// evaluation's conclusions are not artefacts of one synthetic trace
+// instance. Cancelling ctx stops the replication mid-sweep.
+func RunReplicatedContext(ctx context.Context, spec MatrixSpec, n int) (map[[2]string]Replication, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("core: replication needs at least 2 seeds, got %d", n)
 	}
@@ -64,7 +72,7 @@ func RunReplicated(spec MatrixSpec, n int) (map[[2]string]Replication, error) {
 	for i := 0; i < n; i++ {
 		s := spec
 		s.Seed = spec.Seed + int64(i)
-		results, err := RunMatrix(s)
+		results, err := RunMatrixContext(ctx, s)
 		if err != nil {
 			return nil, err
 		}
@@ -86,9 +94,15 @@ func RunReplicated(spec MatrixSpec, n int) (map[[2]string]Replication, error) {
 	return out, nil
 }
 
-// ReplicationTable renders the replication study.
+// ReplicationTable renders the replication study. It is
+// ReplicationTableContext under context.Background().
 func ReplicationTable(spec MatrixSpec, n int) (*metrics.Table, error) {
-	reps, err := RunReplicated(spec, n)
+	return ReplicationTableContext(context.Background(), spec, n)
+}
+
+// ReplicationTableContext renders the replication study, honouring ctx.
+func ReplicationTableContext(ctx context.Context, spec MatrixSpec, n int) (*metrics.Table, error) {
+	reps, err := RunReplicatedContext(ctx, spec, n)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -44,11 +45,19 @@ func applySensitivity(base flash.Config, param string, value float64) (flash.Con
 	return fc, nil
 }
 
-// RunSensitivity sweeps one device parameter across its values, running
-// the given traces with the Baseline and IPU schemes at each point, and
-// renders a comparison table. The spec's Flash field supplies the base
-// configuration (nil means the scaled default with preconditioning).
+// RunSensitivity sweeps one device parameter across its values. It is
+// RunSensitivityContext under context.Background().
 func RunSensitivity(param string, spec MatrixSpec) (*metrics.Table, error) {
+	return RunSensitivityContext(context.Background(), param, spec)
+}
+
+// RunSensitivityContext sweeps one device parameter across its values,
+// running the given traces with the Baseline and IPU schemes at each
+// point, and renders a comparison table. The spec's Flash field supplies
+// the base configuration (nil means the scaled default with
+// preconditioning). Cancelling ctx stops the sweep between (and within)
+// matrix points.
+func RunSensitivityContext(ctx context.Context, param string, spec MatrixSpec) (*metrics.Table, error) {
 	values, ok := SensitivityParams[param]
 	if !ok {
 		return nil, fmt.Errorf("core: unknown sensitivity parameter %q", param)
@@ -71,7 +80,7 @@ func RunSensitivity(param string, spec MatrixSpec) (*metrics.Table, error) {
 		}
 		pointSpec := spec
 		pointSpec.Flash = &fc
-		results, err := RunMatrix(pointSpec)
+		results, err := RunMatrixContext(ctx, pointSpec)
 		if err != nil {
 			return nil, err
 		}

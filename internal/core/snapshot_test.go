@@ -39,7 +39,7 @@ func TestCloneMatchesFreshReplay(t *testing.T) {
 		cfg.Flash = snapshotFlash()
 		cfg.Scheme = name
 
-		fresh, err := newFresh(cfg)
+		fresh, err := NewFresh(cfg)
 		if err != nil {
 			t.Fatalf("%s: fresh build: %v", name, err)
 		}
@@ -122,7 +122,7 @@ func TestRecycledCloneMatchesFreshReplay(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		first.release()
+		first.Release()
 
 		// The next New must pop the released device from the pool and
 		// restore it; its replay must be bit-for-bit identical.

@@ -99,6 +99,10 @@ type Metrics struct {
 	HostTrims int64
 }
 
+// GCs returns the total garbage collections so far (SLC + MLC): the
+// progress-snapshot counter the core replay loop reports between requests.
+func (m *Metrics) GCs() int64 { return m.SLCGCs + m.MLCGCs }
+
 // PageUtilization returns the Fig. 9 metric: used subpages over total
 // subpages across all SLC GC victims.
 func (m *Metrics) PageUtilization() float64 {

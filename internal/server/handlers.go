@@ -1,0 +1,189 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"ipusim/internal/core"
+)
+
+// Sentinel errors mapped to HTTP statuses by the handlers.
+var (
+	// ErrQueueFull rejects a submission when the bounded queue has no
+	// room (HTTP 429).
+	ErrQueueFull = errors.New("server: job queue full")
+	// ErrClosed rejects a submission after shutdown began (HTTP 503).
+	ErrClosed = errors.New("server: shutting down")
+	// ErrBadRequest rejects an invalid submission (HTTP 400).
+	ErrBadRequest = errors.New("server: bad request")
+)
+
+// maxBodyBytes bounds submission bodies; experiment specs are tiny.
+const maxBodyBytes = 1 << 20
+
+// Handler returns the service's HTTP API:
+//
+//	GET  /healthz               liveness probe
+//	GET  /v1/schemes            registered scheme names
+//	GET  /v1/stats              service counters
+//	GET  /v1/jobs               list jobs (submission order)
+//	POST /v1/jobs               submit a job (JobRequest body)
+//	GET  /v1/jobs/{id}          job status
+//	POST /v1/jobs/{id}/cancel   cancel a job
+//	GET  /v1/jobs/{id}/result   terminal job's result
+//	GET  /v1/jobs/{id}/stream   live progress (server-sent events)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /v1/schemes", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"schemes": core.Schemes()})
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding job request: %w", err))
+		return
+	}
+	j, err := s.Submit(req)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, err)
+		case errors.Is(err, ErrClosed):
+			writeError(w, http.StatusServiceUnavailable, err)
+		default:
+			writeError(w, http.StatusBadRequest, err)
+		}
+		return
+	}
+	s.mu.Lock()
+	v := j.viewLocked()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusAccepted, v)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.Jobs()})
+}
+
+func (s *Server) jobOr404(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	id := r.PathValue("id")
+	j, ok := s.Job(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+	}
+	return j, ok
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobOr404(w, r)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	v := j.viewLocked()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobOr404(w, r)
+	if !ok {
+		return
+	}
+	s.Cancel(j.ID)
+	s.mu.Lock()
+	v := j.viewLocked()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobOr404(w, r)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	v := j.viewLocked()
+	result := j.result
+	s.mu.Unlock()
+	switch v.State {
+	case StateDone:
+		writeJSON(w, http.StatusOK, map[string]any{"job": v, "result": result})
+	case StateFailed, StateCancelled:
+		writeJSON(w, http.StatusConflict, map[string]any{"job": v})
+	default:
+		// Not finished yet: point the client at the stream.
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusAccepted, map[string]any{"job": v})
+	}
+}
+
+// handleStream serves the job's live progress as server-sent events: one
+// `data:` line per update (the JobView JSON), ending after the terminal
+// state is sent.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobOr404(w, r)
+	if !ok {
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, errors.New("streaming unsupported"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	for {
+		wake, v := s.watch(j)
+		b, err := json.Marshal(v)
+		if err != nil {
+			return
+		}
+		fmt.Fprintf(w, "data: %s\n\n", b)
+		flusher.Flush()
+		if v.State.Terminal() {
+			return
+		}
+		select {
+		case <-wake:
+		case <-r.Context().Done():
+			return
+		case <-s.baseCtx.Done():
+			return
+		}
+	}
+}

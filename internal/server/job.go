@@ -1,0 +1,280 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"ipusim/internal/core"
+	"ipusim/internal/trace"
+)
+
+// JobState is one point of the job lifecycle. Transitions are strictly
+// queued -> running -> {done, failed, cancelled}, except that a queued job
+// may move straight to cancelled.
+type JobState string
+
+const (
+	// StateQueued means the job is waiting in the bounded queue.
+	StateQueued JobState = "queued"
+	// StateRunning means a worker is replaying the job.
+	StateRunning JobState = "running"
+	// StateDone means the job finished and its result is available.
+	StateDone JobState = "done"
+	// StateFailed means the job stopped on an error (or panic).
+	StateFailed JobState = "failed"
+	// StateCancelled means the job was cancelled — by request, by its
+	// timeout, or by shutdown — before completing.
+	StateCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// JobRequest is the POST /v1/jobs submission body. Kind selects the
+// experiment; the remaining fields parameterise it, with zero values
+// falling back to the evaluation defaults.
+type JobRequest struct {
+	// Kind is "run" (one trace through one scheme), "matrix" (a
+	// traces x schemes x P/E sweep) or "sensitivity" (a device-parameter
+	// sweep).
+	Kind string `json:"kind"`
+
+	// Run parameters.
+	Scheme string `json:"scheme,omitempty"`
+	Trace  string `json:"trace,omitempty"`
+	// QueueDepth > 0 replays closed-loop at that depth instead of
+	// open-loop at trace timestamps.
+	QueueDepth int `json:"queueDepth,omitempty"`
+	PEBaseline int `json:"peBaseline,omitempty"`
+
+	// Matrix / sensitivity parameters.
+	Traces      []string `json:"traces,omitempty"`
+	Schemes     []string `json:"schemes,omitempty"`
+	PEBaselines []int    `json:"peBaselines,omitempty"`
+	// Param names the swept device parameter (core.SensitivityParams key).
+	Param string `json:"param,omitempty"`
+
+	// Shared trace-synthesis parameters.
+	Scale float64 `json:"scale,omitempty"`
+	Seed  int64   `json:"seed,omitempty"`
+
+	// Timeout caps the job's wall-clock run time (Go duration string,
+	// e.g. "2m"). Empty means the server default.
+	Timeout string `json:"timeout,omitempty"`
+}
+
+// jobFunc executes one validated job under ctx, reporting progress through
+// report, and returns the JSON-marshallable result.
+type jobFunc func(ctx context.Context, report core.ProgressFunc) (any, error)
+
+// Job is one submitted experiment and its lifecycle state. All mutable
+// fields are guarded by the owning Server's mu.
+type Job struct {
+	ID        string
+	Kind      string
+	Request   JobRequest
+	State     JobState
+	Submitted time.Time
+	Started   time.Time
+	Finished  time.Time
+	Progress  core.Progress
+	Error     string
+
+	result  any
+	run     jobFunc
+	timeout time.Duration
+	cancel  context.CancelFunc
+	// watch is closed and replaced on every state/progress update, waking
+	// stream subscribers.
+	watch chan struct{}
+}
+
+// JobView is the JSON shape of a job's status.
+type JobView struct {
+	ID        string        `json:"id"`
+	Kind      string        `json:"kind"`
+	State     JobState      `json:"state"`
+	Submitted time.Time     `json:"submitted"`
+	Started   *time.Time    `json:"started,omitempty"`
+	Finished  *time.Time    `json:"finished,omitempty"`
+	Progress  core.Progress `json:"progress"`
+	Frac      float64       `json:"frac"`
+	Error     string        `json:"error,omitempty"`
+}
+
+// viewLocked snapshots the job for JSON rendering. Callers hold the
+// server's mu.
+func (j *Job) viewLocked() JobView {
+	v := JobView{
+		ID:        j.ID,
+		Kind:      j.Kind,
+		State:     j.State,
+		Submitted: j.Submitted,
+		Progress:  j.Progress,
+		Frac:      j.Progress.Frac(),
+		Error:     j.Error,
+	}
+	if !j.Started.IsZero() {
+		t := j.Started
+		v.Started = &t
+	}
+	if !j.Finished.IsZero() {
+		t := j.Finished
+		v.Finished = &t
+	}
+	return v
+}
+
+// compile validates the request and builds its executable jobFunc.
+// Validation happens at submit time so a bad request fails with 400
+// instead of occupying a queue slot and failing later.
+func compile(req JobRequest, defaultScale float64) (jobFunc, error) {
+	if req.Scale == 0 {
+		req.Scale = defaultScale
+	}
+	if req.Scale <= 0 || req.Scale > 1 {
+		return nil, fmt.Errorf("scale %v out of (0, 1]", req.Scale)
+	}
+	if req.Seed == 0 {
+		req.Seed = 42
+	}
+	switch req.Kind {
+	case "run":
+		return compileRun(req)
+	case "matrix":
+		return compileMatrix(req)
+	case "sensitivity":
+		return compileSensitivity(req)
+	default:
+		return nil, fmt.Errorf("unknown kind %q (want run, matrix or sensitivity)", req.Kind)
+	}
+}
+
+// knownScheme reports whether name is in the scheme registry.
+func knownScheme(name string) bool {
+	for _, s := range core.Schemes() {
+		if s == name {
+			return true
+		}
+	}
+	return false
+}
+
+func validateSchemes(names []string) error {
+	for _, s := range names {
+		if !knownScheme(s) {
+			return fmt.Errorf("unknown scheme %q (registered: %v)", s, core.Schemes())
+		}
+	}
+	return nil
+}
+
+func validateTraces(names []string) error {
+	for _, tr := range names {
+		if _, ok := trace.Profiles[tr]; !ok {
+			return fmt.Errorf("unknown trace %q (have %v)", tr, trace.ProfileNames())
+		}
+	}
+	return nil
+}
+
+func compileRun(req JobRequest) (jobFunc, error) {
+	if req.Scheme == "" {
+		req.Scheme = "IPU"
+	}
+	if req.Trace == "" {
+		req.Trace = "ts0"
+	}
+	if err := validateSchemes([]string{req.Scheme}); err != nil {
+		return nil, err
+	}
+	if err := validateTraces([]string{req.Trace}); err != nil {
+		return nil, err
+	}
+	if req.QueueDepth < 0 {
+		return nil, fmt.Errorf("queueDepth %d must be >= 0", req.QueueDepth)
+	}
+	return func(ctx context.Context, report core.ProgressFunc) (any, error) {
+		// The bounded trace cache shares one immutable instance across
+		// concurrent jobs replaying the same workload.
+		tr, err := core.SyntheticTrace(req.Trace, req.Seed, req.Scale)
+		if err != nil {
+			return nil, err
+		}
+		cfg := core.DefaultConfig()
+		cfg.Scheme = req.Scheme
+		if req.PEBaseline > 0 {
+			cfg.Flash.PEBaseline = req.PEBaseline
+		}
+		sim, err := core.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		sim.OnProgress(0, report)
+		var res *core.Result
+		if req.QueueDepth > 0 {
+			res, err = sim.RunClosedLoopContext(ctx, tr, req.QueueDepth)
+		} else {
+			res, err = sim.RunContext(ctx, tr)
+		}
+		if err != nil {
+			// A cancelled replay stopped between requests, so the device
+			// is consistent and can rejoin the snapshot cache's free pool.
+			if ctx.Err() != nil {
+				sim.Release()
+			}
+			return nil, err
+		}
+		sim.Release()
+		return res, nil
+	}, nil
+}
+
+func compileMatrix(req JobRequest) (jobFunc, error) {
+	if err := validateSchemes(req.Schemes); err != nil {
+		return nil, err
+	}
+	if err := validateTraces(req.Traces); err != nil {
+		return nil, err
+	}
+	return func(ctx context.Context, report core.ProgressFunc) (any, error) {
+		spec := core.MatrixSpec{
+			Traces:      req.Traces,
+			Schemes:     req.Schemes,
+			PEBaselines: req.PEBaselines,
+			Scale:       req.Scale,
+			Seed:        req.Seed,
+			OnProgress:  report,
+		}
+		return core.RunMatrixContext(ctx, spec)
+	}, nil
+}
+
+func compileSensitivity(req JobRequest) (jobFunc, error) {
+	if _, ok := core.SensitivityParams[req.Param]; !ok {
+		params := make([]string, 0, len(core.SensitivityParams))
+		for p := range core.SensitivityParams {
+			params = append(params, p)
+		}
+		return nil, fmt.Errorf("unknown sensitivity param %q (have %v)", req.Param, params)
+	}
+	if err := validateSchemes(req.Schemes); err != nil {
+		return nil, err
+	}
+	if err := validateTraces(req.Traces); err != nil {
+		return nil, err
+	}
+	return func(ctx context.Context, report core.ProgressFunc) (any, error) {
+		spec := core.MatrixSpec{
+			Traces:     req.Traces,
+			Schemes:    req.Schemes,
+			Scale:      req.Scale,
+			Seed:       req.Seed,
+			OnProgress: report,
+		}
+		return core.RunSensitivityContext(ctx, req.Param, spec)
+	}, nil
+}

@@ -1,0 +1,374 @@
+// Package server implements ipusimd's experiment service: a bounded job
+// queue and worker pool that execute simulation jobs (single runs,
+// matrices, sensitivity sweeps) on the context-aware core API, with job
+// lifecycle endpoints — submit, status, cancel, result — and a live
+// progress stream.
+//
+// Robustness is first-class: the queue applies backpressure (HTTP 429)
+// when full, every job runs under a per-job timeout with panic recovery,
+// cancellation stops a replay within one request boundary, and shutdown
+// drains in-flight jobs or cancels them when the drain deadline passes.
+// Completed jobs release their devices back to core's precondition-
+// snapshot cache, so a busy daemon reaches steady state with no per-job
+// device construction cost.
+package server
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"ipusim/internal/core"
+)
+
+// Options configures a Server. The zero value is usable: every field has a
+// production default.
+type Options struct {
+	// Workers bounds concurrently running jobs; 0 means GOMAXPROCS.
+	Workers int
+	// QueueCap bounds jobs waiting to run; a full queue rejects
+	// submissions with 429. 0 means 64.
+	QueueCap int
+	// JobTimeout caps each job's wall-clock run time unless the request
+	// overrides it; 0 means 10 minutes. Negative means no timeout.
+	JobTimeout time.Duration
+	// DefaultScale is the trace scale used when a request omits it;
+	// 0 means 0.05.
+	DefaultScale float64
+	// MaxJobs bounds retained job records (terminal jobs beyond the cap
+	// are evicted oldest-first); 0 means 1024.
+	MaxJobs int
+}
+
+func (o *Options) normalize() {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueCap <= 0 {
+		o.QueueCap = 64
+	}
+	if o.JobTimeout == 0 {
+		o.JobTimeout = 10 * time.Minute
+	}
+	if o.DefaultScale <= 0 {
+		o.DefaultScale = 0.05
+	}
+	if o.MaxJobs <= 0 {
+		o.MaxJobs = 1024
+	}
+}
+
+// Stats are the service-level counters exposed at /v1/stats.
+type Stats struct {
+	Submitted uint64 `json:"submitted"`
+	Rejected  uint64 `json:"rejected"`
+	Done      uint64 `json:"done"`
+	Failed    uint64 `json:"failed"`
+	Cancelled uint64 `json:"cancelled"`
+	Queued    int    `json:"queued"`
+	Running   int    `json:"running"`
+	Workers   int    `json:"workers"`
+	QueueCap  int    `json:"queueCap"`
+}
+
+// Server owns the job table, the bounded queue and the worker pool.
+type Server struct {
+	opts Options
+
+	mu      sync.Mutex
+	jobs    map[string]*Job
+	order   []string // job IDs in submission order
+	nextID  uint64
+	closed  bool // no further submissions
+	queued  int
+	running int
+	stats   Stats
+
+	queue chan *Job
+	wg    sync.WaitGroup // workers
+
+	// baseCtx parents every job context; baseCancel is the shutdown hard
+	// stop.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	// testHookRunning, if set, is called by a worker right after a job
+	// enters StateRunning. Tests use it to block or observe workers.
+	testHookRunning func(*Job)
+}
+
+// New builds a Server and starts its worker pool.
+func New(opts Options) *Server {
+	opts.normalize()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		opts:       opts,
+		jobs:       map[string]*Job{},
+		queue:      make(chan *Job, opts.QueueCap),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+	}
+	s.stats.Workers = opts.Workers
+	s.stats.QueueCap = opts.QueueCap
+	for i := 0; i < opts.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Submit validates req, assigns the next deterministic job ID
+// (job-000001, job-000002, ...) and enqueues the job. It returns
+// ErrQueueFull when the bounded queue has no room and ErrClosed after
+// Shutdown began.
+func (s *Server) Submit(req JobRequest) (*Job, error) {
+	run, err := compile(req, s.opts.DefaultScale)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	timeout := s.opts.JobTimeout
+	if req.Timeout != "" {
+		d, err := time.ParseDuration(req.Timeout)
+		if err != nil || d <= 0 {
+			return nil, fmt.Errorf("%w: bad timeout %q", ErrBadRequest, req.Timeout)
+		}
+		timeout = d
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	s.nextID++
+	j := &Job{
+		ID:        fmt.Sprintf("job-%06d", s.nextID),
+		Kind:      req.Kind,
+		Request:   req,
+		State:     StateQueued,
+		Submitted: time.Now(),
+		run:       run,
+		timeout:   timeout,
+		watch:     make(chan struct{}),
+	}
+	select {
+	case s.queue <- j:
+	default:
+		s.nextID-- // the ID was never exposed; keep the sequence dense
+		s.stats.Rejected++
+		return nil, ErrQueueFull
+	}
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	s.queued++
+	s.stats.Submitted++
+	s.evictLocked()
+	return j, nil
+}
+
+// evictLocked drops the oldest terminal job records beyond MaxJobs.
+func (s *Server) evictLocked() {
+	if len(s.jobs) <= s.opts.MaxJobs {
+		return
+	}
+	kept := s.order[:0]
+	excess := len(s.jobs) - s.opts.MaxJobs
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if excess > 0 && j != nil && j.State.Terminal() {
+			delete(s.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// Job returns the job with the given ID.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Cancel stops the job: a queued job is marked cancelled immediately (the
+// worker skips it when popped), a running one has its context cancelled
+// and stops within one request boundary. Cancelling a terminal job is a
+// no-op; Cancel reports whether the job exists.
+func (s *Server) Cancel(id string) bool {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return false
+	}
+	var cancel context.CancelFunc
+	switch j.State {
+	case StateQueued:
+		s.queued--
+		s.stats.Cancelled++
+		j.State = StateCancelled
+		j.Finished = time.Now()
+		s.notifyLocked(j)
+	case StateRunning:
+		cancel = j.cancel
+	}
+	s.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	return true
+}
+
+// Jobs lists every retained job in submission order.
+func (s *Server) Jobs() []JobView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobView, 0, len(s.order))
+	for _, id := range s.order {
+		if j, ok := s.jobs[id]; ok {
+			out = append(out, j.viewLocked())
+		}
+	}
+	return out
+}
+
+// Stats snapshots the service counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Queued = s.queued
+	st.Running = s.running
+	return st
+}
+
+// notifyLocked wakes every watcher of j. Callers hold mu.
+func (s *Server) notifyLocked(j *Job) {
+	close(j.watch)
+	j.watch = make(chan struct{})
+}
+
+// watch returns the job's current wake channel and view.
+func (s *Server) watch(j *Job) (<-chan struct{}, JobView) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return j.watch, j.viewLocked()
+}
+
+// worker pops queued jobs and executes them until the queue closes.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob drives one job through its lifecycle with timeout and panic
+// recovery.
+func (s *Server) runJob(j *Job) {
+	s.mu.Lock()
+	if j.State != StateQueued {
+		// Cancelled while waiting in the queue.
+		s.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	if j.timeout > 0 {
+		ctx, cancel = context.WithTimeout(s.baseCtx, j.timeout)
+	}
+	j.State = StateRunning
+	j.Started = time.Now()
+	j.cancel = cancel
+	s.queued--
+	s.running++
+	s.notifyLocked(j)
+	hook := s.testHookRunning
+	s.mu.Unlock()
+	defer cancel()
+	if hook != nil {
+		hook(j)
+	}
+
+	report := func(p core.Progress) {
+		s.mu.Lock()
+		j.Progress = p
+		s.notifyLocked(j)
+		s.mu.Unlock()
+	}
+
+	result, err := s.runRecovered(ctx, j, report)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.running--
+	j.Finished = time.Now()
+	j.cancel = nil
+	switch {
+	case err == nil:
+		j.State = StateDone
+		j.result = result
+		s.stats.Done++
+	case ctx.Err() != nil:
+		// Cancelled by request, timeout or shutdown.
+		j.State = StateCancelled
+		j.Error = ctx.Err().Error()
+		s.stats.Cancelled++
+	default:
+		j.State = StateFailed
+		j.Error = err.Error()
+		s.stats.Failed++
+	}
+	s.notifyLocked(j)
+}
+
+// runRecovered executes the job body, converting a panic into an error so
+// one bad job cannot take the daemon down.
+func (s *Server) runRecovered(ctx context.Context, j *Job, report core.ProgressFunc) (result any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("job panicked: %v\n%s", r, debug.Stack())
+		}
+	}()
+	return j.run(ctx, report)
+}
+
+// Shutdown stops the service gracefully: no further submissions are
+// accepted, queued and running jobs drain to completion, and when ctx
+// expires before the drain finishes every in-flight job is cancelled (a
+// replay stops within one request boundary). Shutdown returns once all
+// workers have exited; the returned error is ctx's error when the drain
+// was cut short.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	// Submissions stop once closed is set, so closing the queue is safe:
+	// Submit's send happens under mu.
+	close(s.queue)
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.baseCancel() // hard-cancel in-flight jobs
+		<-done
+	}
+	s.baseCancel()
+	return err
+}
