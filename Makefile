@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race serve serve-test bench bench-json bench-baseline bench-check experiments ablation sensitivity fuzz fuzz-parse fuzz-replay golden clean
+.PHONY: all build test vet race serve serve-test serve-cluster-test bench bench-json bench-baseline bench-check experiments ablation sensitivity fuzz fuzz-parse fuzz-replay golden clean
 
 all: build test
 
@@ -30,6 +30,17 @@ serve:
 # the daemon's own end-to-end boot/shutdown test.
 serve-test:
 	$(GO) test -race -count 1 ./internal/server ./cmd/ipusimd
+
+# The cluster acceptance gate: the result-cache hit path (byte-identical,
+# sim never re-runs), durable-store restart recovery, the consistent-hash
+# ring units, and the coordinator soak — sweeps sharded over two
+# in-process workers with one killed mid-sweep, aggregated rows compared
+# bit-for-bit to a single daemon — all under the race detector.
+serve-cluster-test:
+	$(GO) test -race -count 1 \
+	  -run 'TestCacheHit|TestCanonicalKey|TestJobKey|TestRestartRecovery|TestCoordinator|TestRing|TestStore' \
+	  ./internal/server
+	$(GO) test -race -count 1 -run TestDaemonCluster ./cmd/ipusimd
 
 # Re-accept the golden metric snapshots after an intentional behaviour
 # change (inspect the diff in the test failure first).

@@ -1,19 +1,30 @@
 // Command ipusimd runs the experiment service: a long-running HTTP/JSON
-// daemon that accepts simulation jobs (single runs, matrices, sensitivity
-// sweeps), executes them on a bounded worker pool backed by the
-// precondition-snapshot cache, and exposes job lifecycle endpoints plus a
-// live progress stream.
+// daemon that accepts simulation jobs (single runs, sweep cells, matrices,
+// sensitivity sweeps), executes them on a bounded worker pool backed by
+// the precondition-snapshot cache, and exposes job lifecycle endpoints
+// plus a live progress stream.
 //
 // Usage:
 //
 //	ipusimd [-addr :8077] [-workers N] [-queue 64] [-timeout 10m]
-//	        [-drain 30s] [-scale 0.05] [-maxjobs 1024]
+//	        [-drain 30s] [-scale 0.05] [-maxjobs 1024] [-cache 256]
+//	        [-data DIR] [-coordinator URL,URL,...]
+//
+// With -data the daemon is durable: job records and results persist under
+// DIR (atomic write-then-rename), a restarted daemon serves completed
+// results from disk and re-enqueues interrupted jobs, which re-run to
+// bit-identical output. With -coordinator the daemon shards matrix and
+// sensitivity sweeps into per-cell sub-jobs placed on the listed worker
+// daemons by consistent hashing, aggregating their rows into the same
+// response a single daemon produces; a failed worker is dropped from the
+// ring and its cells are re-placed or run locally.
 //
 // Endpoints (see internal/server):
 //
 //	GET  /healthz               liveness probe
 //	GET  /v1/schemes            registered scheme names
 //	GET  /v1/stats              service counters
+//	GET  /v1/cluster            coordinator fleet view
 //	GET  /v1/jobs               list jobs
 //	POST /v1/jobs               submit a job
 //	GET  /v1/jobs/{id}          job status
@@ -22,7 +33,9 @@
 //	GET  /v1/jobs/{id}/stream   live progress (server-sent events)
 //
 // On SIGINT/SIGTERM the daemon stops accepting jobs, drains in-flight
-// work for up to -drain, then cancels whatever remains and exits.
+// work for up to -drain, then cancels whatever remains and exits (a
+// durable daemon persists the cancelled jobs as queued, so the next start
+// resumes them).
 package main
 
 import (
@@ -35,6 +48,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -50,27 +64,49 @@ func main() {
 		drain   = flag.Duration("drain", 30*time.Second, "shutdown drain budget before in-flight jobs are cancelled")
 		scale   = flag.Float64("scale", 0.05, "default trace scale for jobs that omit it")
 		maxJobs = flag.Int("maxjobs", 1024, "retained job records (older terminal jobs are evicted)")
+		cache   = flag.Int("cache", 256, "in-memory result cache capacity (entries)")
+		data    = flag.String("data", "", "data directory for durable jobs and results (empty = in-memory only)")
+		coord   = flag.String("coordinator", "", "comma-separated worker base URLs; sweeps shard across them")
 	)
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *addr, *workers, *queue, *maxJobs, *timeout, *drain, *scale, nil); err != nil {
+	opts := server.Options{
+		Workers:      *workers,
+		QueueCap:     *queue,
+		JobTimeout:   *timeout,
+		DefaultScale: *scale,
+		MaxJobs:      *maxJobs,
+		CacheCap:     *cache,
+		DataDir:      *data,
+		WorkerURLs:   splitURLs(*coord),
+	}
+	if err := run(ctx, *addr, opts, *drain, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "ipusimd:", err)
 		os.Exit(1)
 	}
 }
 
+// splitURLs parses the -coordinator flag: comma-separated worker base
+// URLs, empty segments and surrounding whitespace ignored.
+func splitURLs(s string) []string {
+	var urls []string
+	for _, u := range strings.Split(s, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, strings.TrimRight(u, "/"))
+		}
+	}
+	return urls
+}
+
 // run serves until ctx is cancelled (the signal context in production) or
 // the listener fails. A non-nil ready receives the bound address once the
 // daemon is listening — the test hook for -addr :0.
-func run(ctx context.Context, addr string, workers, queue, maxJobs int, timeout, drain time.Duration, scale float64, ready chan<- string) error {
-	svc := server.New(server.Options{
-		Workers:      workers,
-		QueueCap:     queue,
-		JobTimeout:   timeout,
-		DefaultScale: scale,
-		MaxJobs:      maxJobs,
-	})
+func run(ctx context.Context, addr string, opts server.Options, drain time.Duration, ready chan<- string) error {
+	svc, err := server.Open(opts)
+	if err != nil {
+		return err
+	}
 	httpSrv := &http.Server{
 		Addr:              addr,
 		Handler:           svc.Handler(),
@@ -78,9 +114,18 @@ func run(ctx context.Context, addr string, workers, queue, maxJobs int, timeout,
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
+		// The service already started its workers; stop them before failing.
+		stopCtx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		svc.Shutdown(stopCtx)
 		return err
 	}
-	log.Printf("ipusimd: serving on %s (workers %d, queue %d)", ln.Addr(), svc.Stats().Workers, queue)
+	mode := "worker pool"
+	if len(opts.WorkerURLs) > 0 {
+		mode = fmt.Sprintf("coordinator over %d workers", len(opts.WorkerURLs))
+	}
+	log.Printf("ipusimd: serving on %s (%s, workers %d, queue %d)",
+		ln.Addr(), mode, svc.Stats().Workers, svc.Stats().QueueCap)
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}

@@ -1,33 +1,71 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"net/http"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
+
+	"ipusim/internal/server"
 )
+
+// testOpts are small, fast daemon options shared by the lifecycle tests.
+func testOpts() server.Options {
+	return server.Options{
+		Workers:      2,
+		QueueCap:     8,
+		MaxJobs:      16,
+		JobTimeout:   time.Minute,
+		DefaultScale: 0.01,
+	}
+}
+
+// bootDaemon starts run() on an ephemeral port and returns its base URL
+// plus the shutdown handle.
+func bootDaemon(t *testing.T, opts server.Options) (base string, cancel context.CancelFunc, errCh chan error) {
+	t.Helper()
+	ctx, cancelCtx := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	errCh = make(chan error, 1)
+	go func() {
+		errCh <- run(ctx, "127.0.0.1:0", opts, 30*time.Second, ready)
+	}()
+	select {
+	case addr := <-ready:
+		return "http://" + addr, cancelCtx, errCh
+	case err := <-errCh:
+		cancelCtx()
+		t.Fatalf("daemon exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		cancelCtx()
+		t.Fatal("daemon never became ready")
+	}
+	panic("unreachable")
+}
+
+// stopDaemon cancels the daemon's context and waits for a clean exit.
+func stopDaemon(t *testing.T, cancel context.CancelFunc, errCh chan error) {
+	t.Helper()
+	cancel()
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+}
 
 // TestDaemonLifecycle boots the daemon on an ephemeral port, runs one job
 // through the HTTP API end to end, then shuts it down via context
 // cancellation — the same path a SIGINT takes.
 func TestDaemonLifecycle(t *testing.T) {
-	ctx, cancel := context.WithCancel(context.Background())
-	ready := make(chan string, 1)
-	errCh := make(chan error, 1)
-	go func() {
-		errCh <- run(ctx, "127.0.0.1:0", 2, 8, 16, time.Minute, 30*time.Second, 0.01, ready)
-	}()
-	var base string
-	select {
-	case addr := <-ready:
-		base = "http://" + addr
-	case err := <-errCh:
-		t.Fatalf("daemon exited before ready: %v", err)
-	case <-time.After(10 * time.Second):
-		t.Fatal("daemon never became ready")
-	}
+	base, cancel, errCh := bootDaemon(t, testOpts())
 
 	resp, err := http.Get(base + "/healthz")
 	if err != nil {
@@ -84,22 +122,131 @@ func TestDaemonLifecycle(t *testing.T) {
 		time.Sleep(5 * time.Millisecond)
 	}
 
-	cancel()
-	select {
-	case err := <-errCh:
-		if err != nil {
-			t.Fatalf("shutdown: %v", err)
-		}
-	case <-time.After(30 * time.Second):
-		t.Fatal("daemon did not shut down")
-	}
+	stopDaemon(t, cancel, errCh)
 }
 
 // TestDaemonBadAddr asserts a bind failure surfaces as an error instead of
 // a hang.
 func TestDaemonBadAddr(t *testing.T) {
-	err := run(context.Background(), "256.0.0.1:99999", 1, 1, 1, time.Second, time.Second, 0.01, nil)
+	err := run(context.Background(), "256.0.0.1:99999", testOpts(), time.Second, nil)
 	if err == nil {
 		t.Fatal("invalid listen address accepted")
+	}
+}
+
+// TestDaemonCluster boots the 3-process topology from the docs — two
+// durable workers plus a coordinator sharding over them — and runs one
+// matrix sweep through the coordinator, checking the cells really ran on
+// the workers and the response matches a single daemon's byte for byte.
+func TestDaemonCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster boot is not short")
+	}
+	wopts := testOpts()
+	w1, cancel1, err1 := bootDaemon(t, wopts)
+	defer stopDaemon(t, cancel1, err1)
+	wopts.DataDir = t.TempDir()
+	w2, cancel2, err2 := bootDaemon(t, wopts)
+	defer stopDaemon(t, cancel2, err2)
+
+	copts := testOpts()
+	copts.WorkerURLs = []string{w1, w2}
+	coord, cancelC, errC := bootDaemon(t, copts)
+	defer stopDaemon(t, cancelC, errC)
+
+	// A single plain daemon produces the reference response.
+	single, cancelS, errS := bootDaemon(t, testOpts())
+	defer stopDaemon(t, cancelS, errS)
+
+	body := `{"kind":"matrix","traces":["ads","ts0"],"schemes":["Baseline","IPU"],"scale":0.002,"seed":7}`
+	want := runMatrixJob(t, single, body)
+	got := runMatrixJob(t, coord, body)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("coordinator response differs from single daemon:\n%s\nvs\n%s", got, want)
+	}
+
+	var view struct {
+		Coordinator bool            `json:"coordinator"`
+		Workers     []string        `json:"workers"`
+		Alive       map[string]bool `json:"alive"`
+		RemoteCells uint64          `json:"remoteCells"`
+	}
+	getJSONInto(t, coord+"/v1/cluster", &view)
+	if !view.Coordinator || !reflect.DeepEqual(view.Workers, []string{w1, w2}) {
+		t.Fatalf("cluster view = %+v", view)
+	}
+	if view.RemoteCells == 0 {
+		t.Fatal("coordinator placed no cells on its workers")
+	}
+	var stats struct {
+		Executed uint64 `json:"executed"`
+	}
+	gotCells := uint64(0)
+	for _, w := range []string{w1, w2} {
+		getJSONInto(t, w+"/v1/stats", &stats)
+		gotCells += stats.Executed
+	}
+	if gotCells != view.RemoteCells {
+		t.Fatalf("workers executed %d jobs, coordinator placed %d", gotCells, view.RemoteCells)
+	}
+}
+
+// runMatrixJob submits one job and returns the terminal result body.
+func runMatrixJob(t *testing.T, base, body string) []byte {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var job struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", resp.StatusCode)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + job.ID + "/result")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode == http.StatusOK {
+			var out struct {
+				Result json.RawMessage `json:"result"`
+			}
+			err := json.NewDecoder(resp.Body).Decode(&out)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return out.Result
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("result: HTTP %d", resp.StatusCode)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never finished")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func getJSONInto(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: HTTP %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -176,30 +176,22 @@ func RunMatrix(spec MatrixSpec) ([]*Result, error) {
 func RunMatrixContext(ctx context.Context, spec MatrixSpec) ([]*Result, error) {
 	spec.normalize()
 
-	type job struct {
-		schemeIdx int
-		tr        *trace.Trace
-		pe        int
-	}
-
-	traces := make([]*trace.Trace, len(spec.Traces))
-	for i, name := range spec.Traces {
+	traces := make(map[string]*trace.Trace, len(spec.Traces))
+	for _, name := range spec.Traces {
 		tr, err := cachedTrace(name, spec.Seed, spec.Scale)
 		if err != nil {
 			return nil, err
 		}
-		traces[i] = tr
+		traces[name] = tr
 	}
 
-	var jobs []job
+	// The job list is the spec's cell decomposition: the same enumeration a
+	// coordinator uses to shard the sweep, so per-cell results land at the
+	// same indices either way.
+	jobs := cellsOf(spec)
 	var totalRequests int64
-	for ti := range spec.Traces {
-		for _, pe := range spec.PEBaselines {
-			for si := range spec.Schemes {
-				jobs = append(jobs, job{schemeIdx: si, tr: traces[ti], pe: pe})
-				totalRequests += int64(traces[ti].Len())
-			}
-		}
+	for _, c := range jobs {
+		totalRequests += int64(traces[c.Trace].Len())
 	}
 
 	// Aggregated sweep progress: every run's per-interval deltas land in
@@ -214,10 +206,10 @@ func RunMatrixContext(ctx context.Context, spec MatrixSpec) ([]*Result, error) {
 		if spec.Flash != nil {
 			cfg.Flash = *spec.Flash
 		}
-		if j.pe > 0 {
-			cfg.Flash.PEBaseline = j.pe
+		if j.PE > 0 {
+			cfg.Flash.PEBaseline = j.PE
 		}
-		cfg.Scheme = spec.Schemes[j.schemeIdx]
+		cfg.Scheme = j.Scheme
 		sim, err := New(cfg)
 		if err != nil {
 			errs[i] = err
@@ -238,7 +230,7 @@ func RunMatrixContext(ctx context.Context, spec MatrixSpec) ([]*Result, error) {
 				})
 			})
 		}
-		res, err := sim.RunContext(ctx, j.tr)
+		res, err := sim.RunContext(ctx, traces[j.Trace])
 		if err != nil {
 			// A cancelled run stopped between requests, so its device is
 			// structurally consistent and can rejoin the free pool; any

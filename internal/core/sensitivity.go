@@ -45,6 +45,69 @@ func applySensitivity(base flash.Config, param string, value float64) (flash.Con
 	return fc, nil
 }
 
+// sensitivityBase fills the sweep defaults into the spec: the
+// preconditioned Table 2 geometry when no flash override is given, and
+// the paper's Baseline-vs-IPU comparison when no schemes are named.
+func sensitivityBase(spec MatrixSpec) MatrixSpec {
+	if spec.Flash == nil {
+		base := flash.DefaultConfig()
+		base.PreFillMLC = true
+		spec.Flash = &base
+	}
+	if len(spec.Schemes) == 0 {
+		spec.Schemes = []string{"Baseline", "IPU"}
+	}
+	return spec
+}
+
+// SensitivityPointSpec returns the matrix spec for one swept value of
+// param: the base spec (sweep defaults applied) with the parameter
+// folded into its flash configuration. Running the point spec's cells —
+// locally or sharded across workers — yields exactly the results
+// RunSensitivityContext aggregates for that value.
+func SensitivityPointSpec(spec MatrixSpec, param string, value float64) (MatrixSpec, error) {
+	spec = sensitivityBase(spec)
+	fc, err := applySensitivity(*spec.Flash, param, value)
+	if err != nil {
+		return spec, err
+	}
+	spec.Flash = &fc
+	return spec, nil
+}
+
+// SensitivityCellConfig reconstructs the flash configuration of one
+// sensitivity cell from (param, value) alone, over the default sweep
+// base. A worker daemon handed a cell sub-job rebuilds the exact
+// configuration the coordinator's sweep point uses.
+func SensitivityCellConfig(param string, value float64) (flash.Config, error) {
+	base := flash.DefaultConfig()
+	base.PreFillMLC = true
+	return applySensitivity(base, param, value)
+}
+
+// SensitivityTable renders per-point matrix results into the comparison
+// table RunSensitivityContext returns: perPoint[i] holds the results of
+// values[i]'s matrix, in matrix order. Both the local sweep and the
+// coordinator's sharded sweep render through this one function, so their
+// tables are identical when the underlying results are.
+func SensitivityTable(param string, values []float64, perPoint [][]*Result) *metrics.Table {
+	t := metrics.NewTable(fmt.Sprintf("Sensitivity: %s", param),
+		"Trace", "Scheme", param, "overall", "readBER", "SLCerases", "hostToMLC")
+	for i, v := range values {
+		if i >= len(perPoint) {
+			break
+		}
+		for _, r := range perPoint[i] {
+			t.AddRow(r.Trace, r.Scheme, fmt.Sprintf("%v", v),
+				metrics.FormatDuration(r.AvgLatency),
+				metrics.FormatSci(r.ReadErrorRate),
+				fmt.Sprint(r.SLCErases),
+				fmt.Sprint(r.HostWritesToMLC))
+		}
+	}
+	return t
+}
+
 // RunSensitivity sweeps one device parameter across its values. It is
 // RunSensitivityContext under context.Background().
 func RunSensitivity(param string, spec MatrixSpec) (*metrics.Table, error) {
@@ -62,35 +125,17 @@ func RunSensitivityContext(ctx context.Context, param string, spec MatrixSpec) (
 	if !ok {
 		return nil, fmt.Errorf("core: unknown sensitivity parameter %q", param)
 	}
-	base := flash.DefaultConfig()
-	base.PreFillMLC = true
-	if spec.Flash != nil {
-		base = *spec.Flash
-	}
-	if len(spec.Schemes) == 0 {
-		spec.Schemes = []string{"Baseline", "IPU"}
-	}
-
-	t := metrics.NewTable(fmt.Sprintf("Sensitivity: %s", param),
-		"Trace", "Scheme", param, "overall", "readBER", "SLCerases", "hostToMLC")
-	for _, v := range values {
-		fc, err := applySensitivity(base, param, v)
+	perPoint := make([][]*Result, len(values))
+	for i, v := range values {
+		pointSpec, err := SensitivityPointSpec(spec, param, v)
 		if err != nil {
 			return nil, err
 		}
-		pointSpec := spec
-		pointSpec.Flash = &fc
 		results, err := RunMatrixContext(ctx, pointSpec)
 		if err != nil {
 			return nil, err
 		}
-		for _, r := range results {
-			t.AddRow(r.Trace, r.Scheme, fmt.Sprintf("%v", v),
-				metrics.FormatDuration(r.AvgLatency),
-				metrics.FormatSci(r.ReadErrorRate),
-				fmt.Sprint(r.SLCErases),
-				fmt.Sprint(r.HostWritesToMLC))
-		}
+		perPoint[i] = results
 	}
-	return t, nil
+	return SensitivityTable(param, values, perPoint), nil
 }

@@ -1,0 +1,94 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+
+	"ipusim/internal/core"
+	"ipusim/internal/trace"
+)
+
+// Content-addressed job identity. The simulator guarantees identical
+// (seed, scale, config) ⇒ bit-identical output, so a submission's
+// canonical form is a durable address for its result: the result cache,
+// the persistent store and the coordinator's placement ring all key on
+// jobKey. Canonicalisation makes every output-affecting default explicit
+// and drops lifecycle-only fields, so submissions that differ merely in
+// JSON key order, formatting, or spelled-out defaults cannot miss the
+// cache.
+
+// canonicalRequest returns req in canonical form: defaults applied
+// exactly as compile/core normalisation would, fields irrelevant to the
+// requested kind zeroed, and lifecycle-only fields (Timeout) cleared.
+func canonicalRequest(req JobRequest, defaultScale float64) JobRequest {
+	req.Timeout = ""
+	if req.Scale == 0 {
+		req.Scale = defaultScale
+	}
+	if req.Seed == 0 {
+		req.Seed = 42
+	}
+	switch req.Kind {
+	case "run":
+		if req.Scheme == "" {
+			req.Scheme = "IPU"
+		}
+		if req.Trace == "" {
+			req.Trace = "ts0"
+		}
+		req.Traces, req.Schemes, req.PEBaselines = nil, nil, nil
+		req.Param, req.ParamValue = "", 0
+	case "cell":
+		if req.Scheme == "" {
+			req.Scheme = "IPU"
+		}
+		if req.Trace == "" {
+			req.Trace = "ts0"
+		}
+		req.Traces, req.Schemes, req.PEBaselines = nil, nil, nil
+		req.QueueDepth = 0
+		if req.Param == "" {
+			req.ParamValue = 0
+		}
+	case "matrix":
+		if len(req.Traces) == 0 {
+			req.Traces = trace.ProfileNames()
+		}
+		if len(req.Schemes) == 0 {
+			req.Schemes = append([]string(nil), core.SchemeNames...)
+		}
+		if len(req.PEBaselines) == 0 {
+			req.PEBaselines = []int{0}
+		}
+		req.Scheme, req.Trace = "", ""
+		req.QueueDepth, req.PEBaseline = 0, 0
+		req.Param, req.ParamValue = "", 0
+	case "sensitivity":
+		if len(req.Traces) == 0 {
+			req.Traces = trace.ProfileNames()
+		}
+		if len(req.Schemes) == 0 {
+			req.Schemes = []string{"Baseline", "IPU"}
+		}
+		req.Scheme, req.Trace = "", ""
+		req.QueueDepth, req.PEBaseline = 0, 0
+		req.PEBaselines = nil
+		req.ParamValue = 0
+	}
+	return req
+}
+
+// jobKey returns the deterministic content address of a submission: the
+// hex SHA-256 of the canonical request's JSON. Marshalling the struct
+// (not the client's raw body) normalises JSON key order, so two
+// semantically identical submissions always share a key.
+func jobKey(req JobRequest, defaultScale float64) string {
+	b, err := json.Marshal(canonicalRequest(req, defaultScale))
+	if err != nil {
+		// JobRequest holds only plain data; marshalling cannot fail.
+		panic("server: marshalling canonical job request: " + err.Error())
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:16])
+}

@@ -1,0 +1,368 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ipusim/internal/core"
+)
+
+// coordinator shards matrix and sensitivity jobs across a fleet of
+// worker daemons. A sweep is decomposed into its cells (core.Cells);
+// each cell becomes a "cell" sub-job placed on a worker by consistent
+// hashing on the sub-job's content-addressed key, so the same cell
+// always lands on the same worker and its local result cache stays hot.
+// Per-cell rows stream back as workers finish and are aggregated into
+// the same response shape a single daemon produces. A worker that fails
+// is removed from the ring (remapping only ~1/N of the keyspace); its
+// cells retry on the new owner and, when no worker can serve them, fall
+// back to in-process execution — a sweep completes even with the whole
+// fleet down.
+type coordinator struct {
+	srv    *Server
+	client *http.Client
+
+	mu    sync.Mutex
+	ring  *ring
+	fleet []string // configured workers, for /v1/cluster
+	alive map[string]bool
+
+	remoteCells   atomic.Uint64
+	fallbackCells atomic.Uint64
+}
+
+func newCoordinator(s *Server, urls []string) *coordinator {
+	c := &coordinator{
+		srv:    s,
+		client: &http.Client{},
+		ring:   newRing(0, urls...),
+		fleet:  append([]string(nil), urls...),
+		alive:  map[string]bool{},
+	}
+	for _, u := range urls {
+		c.alive[u] = true
+	}
+	return c
+}
+
+// pick returns the ring owner of a key, or "" when no worker is alive.
+func (c *coordinator) pick(key string) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ring.lookup(key)
+}
+
+// markDead drops a failed worker from the ring: future cells reroute to
+// the survivors, and only the dead worker's share of keys remaps.
+func (c *coordinator) markDead(node string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.alive[node] {
+		c.alive[node] = false
+		c.ring.remove(node)
+	}
+}
+
+// ClusterView is the GET /v1/cluster payload.
+type ClusterView struct {
+	Coordinator   bool            `json:"coordinator"`
+	Workers       []string        `json:"workers,omitempty"`
+	Alive         map[string]bool `json:"alive,omitempty"`
+	RemoteCells   uint64          `json:"remoteCells"`
+	FallbackCells uint64          `json:"fallbackCells"`
+}
+
+func (c *coordinator) view() ClusterView {
+	c.mu.Lock()
+	alive := make(map[string]bool, len(c.alive))
+	for k, v := range c.alive {
+		alive[k] = v
+	}
+	c.mu.Unlock()
+	return ClusterView{
+		Coordinator:   true,
+		Workers:       append([]string(nil), c.fleet...),
+		Alive:         alive,
+		RemoteCells:   c.remoteCells.Load(),
+		FallbackCells: c.fallbackCells.Load(),
+	}
+}
+
+// compile builds the sharded jobFunc for a matrix or sensitivity
+// request. Validation matches the local compile path, and the request is
+// canonicalised first so the sub-jobs carry fully explicit parameters.
+func (c *coordinator) compile(req JobRequest, defaultScale float64) (jobFunc, error) {
+	req = canonicalRequest(req, defaultScale)
+	if req.Scale <= 0 || req.Scale > 1 {
+		return nil, fmt.Errorf("scale %v out of (0, 1]", req.Scale)
+	}
+	if err := validateSchemes(req.Schemes); err != nil {
+		return nil, err
+	}
+	if err := validateTraces(req.Traces); err != nil {
+		return nil, err
+	}
+	switch req.Kind {
+	case "matrix":
+		return func(ctx context.Context, report core.ProgressFunc) (any, error) {
+			return c.runMatrix(ctx, req, report)
+		}, nil
+	case "sensitivity":
+		if _, ok := core.SensitivityParams[req.Param]; !ok {
+			return nil, fmt.Errorf("unknown sensitivity param %q", req.Param)
+		}
+		return func(ctx context.Context, report core.ProgressFunc) (any, error) {
+			return c.runSensitivity(ctx, req, report)
+		}, nil
+	default:
+		return nil, fmt.Errorf("kind %q is not shardable", req.Kind)
+	}
+}
+
+// runMatrix shards one matrix sweep and reassembles the results in cell
+// order — the exact slice core.RunMatrixContext would return.
+func (c *coordinator) runMatrix(ctx context.Context, req JobRequest, report core.ProgressFunc) (any, error) {
+	spec := core.MatrixSpec{
+		Traces:      req.Traces,
+		Schemes:     req.Schemes,
+		PEBaselines: req.PEBaselines,
+		Scale:       req.Scale,
+		Seed:        req.Seed,
+	}
+	cells := core.Cells(spec)
+	var done atomic.Int64
+	onDone := func() {
+		n := done.Add(1)
+		if report != nil {
+			report(core.Progress{Replayed: int(n), Total: len(cells)})
+		}
+	}
+	return c.runCells(ctx, spec, cells, "", 0, onDone)
+}
+
+// runSensitivity shards one sensitivity sweep point by point and renders
+// the same table a single daemon produces.
+func (c *coordinator) runSensitivity(ctx context.Context, req JobRequest, report core.ProgressFunc) (any, error) {
+	values := core.SensitivityParams[req.Param]
+	base := core.MatrixSpec{
+		Traces:  req.Traces,
+		Schemes: req.Schemes,
+		Scale:   req.Scale,
+		Seed:    req.Seed,
+	}
+	pointSpecs := make([]core.MatrixSpec, len(values))
+	pointCells := make([][]core.MatrixCell, len(values))
+	total := 0
+	for i, v := range values {
+		ps, err := core.SensitivityPointSpec(base, req.Param, v)
+		if err != nil {
+			return nil, err
+		}
+		pointSpecs[i] = ps
+		pointCells[i] = core.Cells(ps)
+		total += len(pointCells[i])
+	}
+	var done atomic.Int64
+	onDone := func() {
+		n := done.Add(1)
+		if report != nil {
+			report(core.Progress{Replayed: int(n), Total: total})
+		}
+	}
+	perPoint := make([][]*core.Result, len(values))
+	for i := range values {
+		rs, err := c.runCells(ctx, pointSpecs[i], pointCells[i], req.Param, values[i], onDone)
+		if err != nil {
+			return nil, err
+		}
+		perPoint[i] = rs
+	}
+	return core.SensitivityTable(req.Param, values, perPoint), nil
+}
+
+// runCells fans the cells out over a bounded worker pool, streaming each
+// completed row into its slot; onDone fires per completed cell.
+func (c *coordinator) runCells(ctx context.Context, spec core.MatrixSpec, cells []core.MatrixCell, param string, value float64, onDone func()) ([]*core.Result, error) {
+	results := make([]*core.Result, len(cells))
+	errs := make([]error, len(cells))
+	workers := runtime.GOMAXPROCS(0)
+	c.mu.Lock()
+	if n := 2 * c.ring.size(); n > workers {
+		workers = n
+	}
+	c.mu.Unlock()
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i], errs[i] = c.runCell(ctx, spec, cells[i], param, value)
+				if errs[i] == nil && onDone != nil {
+					onDone()
+				}
+			}
+		}()
+	}
+dispatch:
+	for i := range cells {
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(next)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// runCell executes one cell: place on the ring, retry once on the
+// post-failure owner, then fall back to in-process execution.
+func (c *coordinator) runCell(ctx context.Context, spec core.MatrixSpec, cell core.MatrixCell, param string, value float64) (*core.Result, error) {
+	req := JobRequest{
+		Kind:       "cell",
+		Trace:      cell.Trace,
+		Scheme:     cell.Scheme,
+		PEBaseline: cell.PE,
+		Scale:      spec.Scale,
+		Seed:       spec.Seed,
+		Param:      param,
+		ParamValue: value,
+	}
+	// Placement hashes the sub-job's content address — the same key the
+	// worker's own result cache uses — so repeated sweeps hit warm caches.
+	key := jobKey(req, spec.Scale)
+	for attempt := 0; attempt < 2; attempt++ {
+		node := c.pick(key)
+		if node == "" {
+			break
+		}
+		res, err := c.dispatch(ctx, node, req)
+		if err == nil {
+			c.remoteCells.Add(1)
+			return res, nil
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		c.markDead(node)
+	}
+	// No worker could serve the cell: run it here so the sweep completes.
+	c.fallbackCells.Add(1)
+	return core.RunCellContext(ctx, spec, cell)
+}
+
+// dispatch submits a cell sub-job to one worker and polls its result.
+// A 429 (worker queue full) backs off and resubmits; any transport or
+// server error is returned to the caller for rerouting.
+func (c *coordinator) dispatch(ctx context.Context, node string, req JobRequest) (*core.Result, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	var view JobView
+	for {
+		httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, node+"/v1/jobs", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		httpReq.Header.Set("Content-Type", "application/json")
+		resp, err := c.client.Do(httpReq)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			// Alive but saturated: back off and resubmit.
+			drain(resp)
+			if err := sleepCtx(ctx, 25*time.Millisecond); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			drain(resp)
+			return nil, fmt.Errorf("worker %s: submit HTTP %d", node, resp.StatusCode)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&view)
+		drain(resp)
+		if err != nil {
+			return nil, err
+		}
+		break
+	}
+	for {
+		httpReq, err := http.NewRequestWithContext(ctx, http.MethodGet, node+"/v1/jobs/"+view.ID+"/result", nil)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := c.client.Do(httpReq)
+		if err != nil {
+			return nil, err
+		}
+		switch resp.StatusCode {
+		case http.StatusOK:
+			var out struct {
+				Result *core.Result `json:"result"`
+			}
+			err := json.NewDecoder(resp.Body).Decode(&out)
+			drain(resp)
+			if err != nil {
+				return nil, err
+			}
+			if out.Result == nil {
+				return nil, fmt.Errorf("worker %s: job %s returned no result", node, view.ID)
+			}
+			return out.Result, nil
+		case http.StatusAccepted:
+			// Still queued or running on the worker.
+			drain(resp)
+			if err := sleepCtx(ctx, 5*time.Millisecond); err != nil {
+				return nil, err
+			}
+		default:
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			drain(resp)
+			return nil, fmt.Errorf("worker %s: job %s: HTTP %d: %s",
+				node, view.ID, resp.StatusCode, bytes.TrimSpace(msg))
+		}
+	}
+}
+
+// drain consumes and closes a response body so the connection is reused.
+func drain(resp *http.Response) {
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}
+
+// sleepCtx sleeps d or returns early with ctx's error.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

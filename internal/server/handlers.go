@@ -28,6 +28,7 @@ const maxBodyBytes = 1 << 20
 //	GET  /healthz               liveness probe
 //	GET  /v1/schemes            registered scheme names
 //	GET  /v1/stats              service counters
+//	GET  /v1/cluster            coordinator fleet view
 //	GET  /v1/jobs               list jobs (submission order)
 //	POST /v1/jobs               submit a job (JobRequest body)
 //	GET  /v1/jobs/{id}          job status
@@ -44,6 +45,13 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("GET /v1/cluster", func(w http.ResponseWriter, r *http.Request) {
+		if s.coord == nil {
+			writeJSON(w, http.StatusOK, ClusterView{Coordinator: false})
+			return
+		}
+		writeJSON(w, http.StatusOK, s.coord.view())
 	})
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -137,11 +145,14 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	v := j.viewLocked()
-	result := j.result
+	result := j.resultJSON
 	s.mu.Unlock()
 	switch v.State {
 	case StateDone:
-		writeJSON(w, http.StatusOK, map[string]any{"job": v, "result": result})
+		// Serve the stored bytes verbatim (as a raw message through the
+		// shared encoder), so first, cached, restored and coordinator-
+		// aggregated responses are byte-identical.
+		writeJSON(w, http.StatusOK, map[string]any{"job": v, "result": json.RawMessage(result)})
 	case StateFailed, StateCancelled:
 		writeJSON(w, http.StatusConflict, map[string]any{"job": v})
 	default:

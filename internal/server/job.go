@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"ipusim/internal/core"
+	"ipusim/internal/flash"
 	"ipusim/internal/trace"
 )
 
@@ -56,6 +57,9 @@ type JobRequest struct {
 	PEBaselines []int    `json:"peBaselines,omitempty"`
 	// Param names the swept device parameter (core.SensitivityParams key).
 	Param string `json:"param,omitempty"`
+	// ParamValue is the swept value of Param for "cell" jobs: one
+	// sensitivity-point cell fixes the parameter at this value.
+	ParamValue float64 `json:"paramValue,omitempty"`
 
 	// Shared trace-synthesis parameters.
 	Scale float64 `json:"scale,omitempty"`
@@ -73,7 +77,15 @@ type jobFunc func(ctx context.Context, report core.ProgressFunc) (any, error)
 // Job is one submitted experiment and its lifecycle state. All mutable
 // fields are guarded by the owning Server's mu.
 type Job struct {
-	ID        string
+	ID string
+	// Key is the job's content address: the hash of the canonicalised
+	// request. Identical submissions share a key, which is what the result
+	// cache, the persistent store and the coordinator's ring key on.
+	Key string
+	// Cached marks a job whose result was served from the result cache (or
+	// reloaded from the store by a restarted daemon) without running the
+	// simulator.
+	Cached    bool
 	Kind      string
 	Request   JobRequest
 	State     JobState
@@ -83,10 +95,12 @@ type Job struct {
 	Progress  core.Progress
 	Error     string
 
-	result  any
-	run     jobFunc
-	timeout time.Duration
-	cancel  context.CancelFunc
+	// resultJSON is the marshalled result — the bytes the cache and store
+	// hold, served verbatim so repeat submissions are byte-identical.
+	resultJSON []byte
+	run        jobFunc
+	timeout    time.Duration
+	cancel     context.CancelFunc
 	// watch is closed and replaced on every state/progress update, waking
 	// stream subscribers.
 	watch chan struct{}
@@ -95,8 +109,10 @@ type Job struct {
 // JobView is the JSON shape of a job's status.
 type JobView struct {
 	ID        string        `json:"id"`
+	Key       string        `json:"key,omitempty"`
 	Kind      string        `json:"kind"`
 	State     JobState      `json:"state"`
+	Cached    bool          `json:"cached,omitempty"`
 	Submitted time.Time     `json:"submitted"`
 	Started   *time.Time    `json:"started,omitempty"`
 	Finished  *time.Time    `json:"finished,omitempty"`
@@ -110,8 +126,10 @@ type JobView struct {
 func (j *Job) viewLocked() JobView {
 	v := JobView{
 		ID:        j.ID,
+		Key:       j.Key,
 		Kind:      j.Kind,
 		State:     j.State,
+		Cached:    j.Cached,
 		Submitted: j.Submitted,
 		Progress:  j.Progress,
 		Frac:      j.Progress.Frac(),
@@ -144,12 +162,14 @@ func compile(req JobRequest, defaultScale float64) (jobFunc, error) {
 	switch req.Kind {
 	case "run":
 		return compileRun(req)
+	case "cell":
+		return compileCell(req)
 	case "matrix":
 		return compileMatrix(req)
 	case "sensitivity":
 		return compileSensitivity(req)
 	default:
-		return nil, fmt.Errorf("unknown kind %q (want run, matrix or sensitivity)", req.Kind)
+		return nil, fmt.Errorf("unknown kind %q (want run, cell, matrix or sensitivity)", req.Kind)
 	}
 }
 
@@ -230,6 +250,53 @@ func compileRun(req JobRequest) (jobFunc, error) {
 		}
 		sim.Release()
 		return res, nil
+	}, nil
+}
+
+// compileCell builds one sweep cell: a single (trace, scheme, P/E) run,
+// optionally at a sensitivity point (param fixed at a value). Cells are
+// the sub-jobs a coordinator places on workers; their results are
+// bit-identical to the corresponding element of the full sweep.
+func compileCell(req JobRequest) (jobFunc, error) {
+	if req.Scheme == "" {
+		req.Scheme = "IPU"
+	}
+	if req.Trace == "" {
+		req.Trace = "ts0"
+	}
+	if err := validateSchemes([]string{req.Scheme}); err != nil {
+		return nil, err
+	}
+	if err := validateTraces([]string{req.Trace}); err != nil {
+		return nil, err
+	}
+	if req.QueueDepth != 0 {
+		return nil, fmt.Errorf("cell jobs are open-loop (queueDepth %d not supported)", req.QueueDepth)
+	}
+	if req.PEBaseline < 0 {
+		return nil, fmt.Errorf("peBaseline %d must be >= 0", req.PEBaseline)
+	}
+	var fc *flash.Config
+	if req.Param != "" {
+		// Reconstruct the sensitivity point's flash configuration from
+		// (param, value) — exactly what the coordinator's sweep point uses.
+		cfg, err := core.SensitivityCellConfig(req.Param, req.ParamValue)
+		if err != nil {
+			return nil, err
+		}
+		fc = &cfg
+	}
+	return func(ctx context.Context, report core.ProgressFunc) (any, error) {
+		spec := core.MatrixSpec{
+			Traces:     []string{req.Trace},
+			Schemes:    []string{req.Scheme},
+			Scale:      req.Scale,
+			Seed:       req.Seed,
+			Flash:      fc,
+			OnProgress: report,
+		}
+		cell := core.MatrixCell{Trace: req.Trace, Scheme: req.Scheme, PE: req.PEBaseline}
+		return core.RunCellContext(ctx, spec, cell)
 	}, nil
 }
 

@@ -1,8 +1,21 @@
 // Package server implements ipusimd's experiment service: a bounded job
-// queue and worker pool that execute simulation jobs (single runs,
-// matrices, sensitivity sweeps) on the context-aware core API, with job
-// lifecycle endpoints — submit, status, cancel, result — and a live
-// progress stream.
+// queue and worker pool that execute simulation jobs (single runs, sweep
+// cells, matrices, sensitivity sweeps) on the context-aware core API,
+// with job lifecycle endpoints — submit, status, cancel, result — and a
+// live progress stream.
+//
+// The service exploits the simulator's determinism guarantee — identical
+// (seed, scale, config) produce bit-identical output — three ways.
+// Completed results are memoised in a content-addressed result cache
+// (bounded LRU over a persistent store), so a repeat submission returns
+// the cached bytes at memory speed without touching the sim. With a data
+// directory, the job table survives restarts: completed results are
+// served from disk and interrupted work is re-enqueued, re-running to
+// bit-identical output. And in coordinator mode the daemon shards
+// matrix/sensitivity sweeps into per-cell sub-jobs placed on worker
+// daemons by consistent hashing, aggregating streamed rows into the same
+// response a single daemon produces — with failed workers dropped from
+// the ring and their cells re-placed or run locally.
 //
 // Robustness is first-class: the queue applies backpressure (HTTP 429)
 // when full, every job runs under a per-job timeout with panic recovery,
@@ -15,6 +28,7 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -41,6 +55,16 @@ type Options struct {
 	// MaxJobs bounds retained job records (terminal jobs beyond the cap
 	// are evicted oldest-first); 0 means 1024.
 	MaxJobs int
+	// CacheCap bounds the in-memory result cache in entries; 0 means 256.
+	CacheCap int
+	// DataDir, when non-empty, makes the server durable: job records and
+	// results persist under it (atomic write-then-rename), and Open
+	// reloads completed results and re-enqueues interrupted work.
+	DataDir string
+	// WorkerURLs, when non-empty, puts the server in coordinator mode:
+	// matrix and sensitivity jobs are sharded into per-cell sub-jobs
+	// placed on these worker daemons by consistent hashing.
+	WorkerURLs []string
 }
 
 func (o *Options) normalize() {
@@ -59,19 +83,31 @@ func (o *Options) normalize() {
 	if o.MaxJobs <= 0 {
 		o.MaxJobs = 1024
 	}
+	if o.CacheCap <= 0 {
+		o.CacheCap = 256
+	}
 }
 
-// Stats are the service-level counters exposed at /v1/stats.
+// Stats are the service-level counters exposed at /v1/stats. Counters
+// are per-process: a restarted durable server starts them at zero.
 type Stats struct {
 	Submitted uint64 `json:"submitted"`
 	Rejected  uint64 `json:"rejected"`
 	Done      uint64 `json:"done"`
 	Failed    uint64 `json:"failed"`
 	Cancelled uint64 `json:"cancelled"`
-	Queued    int    `json:"queued"`
-	Running   int    `json:"running"`
-	Workers   int    `json:"workers"`
-	QueueCap  int    `json:"queueCap"`
+	// Executed counts jobs that actually invoked the simulator; CacheHits
+	// counts submissions served from the result cache without running.
+	Executed  uint64 `json:"executed"`
+	CacheHits uint64 `json:"cacheHits"`
+	// RemoteCells counts sweep cells this coordinator placed on workers;
+	// FallbackCells counts cells run in-process after placement failed.
+	RemoteCells   uint64 `json:"remoteCells"`
+	FallbackCells uint64 `json:"fallbackCells"`
+	Queued        int    `json:"queued"`
+	Running       int    `json:"running"`
+	Workers       int    `json:"workers"`
+	QueueCap      int    `json:"queueCap"`
 }
 
 // Server owns the job table, the bounded queue and the worker pool.
@@ -90,6 +126,13 @@ type Server struct {
 	queue chan *Job
 	wg    sync.WaitGroup // workers
 
+	// cache memoises completed result bytes by job key; store (nil unless
+	// DataDir is set) persists job records and results; coord (nil unless
+	// WorkerURLs is set) shards sweeps across the fleet.
+	cache *resultCache
+	store *Store
+	coord *coordinator
+
 	// baseCtx parents every job context; baseCancel is the shutdown hard
 	// stop.
 	baseCtx    context.Context
@@ -100,32 +143,168 @@ type Server struct {
 	testHookRunning func(*Job)
 }
 
-// New builds a Server and starts its worker pool.
+// New builds a Server and starts its worker pool. It is Open for callers
+// without a data directory; it panics when Open fails, which only an
+// unusable Options.DataDir can cause.
 func New(opts Options) *Server {
-	opts.normalize()
-	ctx, cancel := context.WithCancel(context.Background())
-	s := &Server{
-		opts:       opts,
-		jobs:       map[string]*Job{},
-		queue:      make(chan *Job, opts.QueueCap),
-		baseCtx:    ctx,
-		baseCancel: cancel,
-	}
-	s.stats.Workers = opts.Workers
-	s.stats.QueueCap = opts.QueueCap
-	for i := 0; i < opts.Workers; i++ {
-		s.wg.Add(1)
-		go s.worker()
+	s, err := Open(opts)
+	if err != nil {
+		panic(fmt.Sprintf("server.New: %v", err))
 	}
 	return s
 }
 
+// Open builds a Server, recovers persisted state when opts.DataDir is
+// set — completed results are served again, interrupted jobs re-enqueue
+// and re-run to bit-identical output — and starts the worker pool.
+func Open(opts Options) (*Server, error) {
+	opts.normalize()
+	var store *Store
+	var recovered []jobRecord
+	if opts.DataDir != "" {
+		var err error
+		store, err = OpenStore(opts.DataDir)
+		if err != nil {
+			return nil, err
+		}
+		recovered, err = store.LoadJobs()
+		if err != nil {
+			return nil, err
+		}
+	}
+	// The queue must hold every re-enqueued job before workers start.
+	queueCap := opts.QueueCap
+	if n := countPending(recovered); n > queueCap {
+		queueCap = n
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		opts:       opts,
+		jobs:       map[string]*Job{},
+		queue:      make(chan *Job, queueCap),
+		store:      store,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+	}
+	s.cache = newResultCache(opts.CacheCap, store)
+	if len(opts.WorkerURLs) > 0 {
+		s.coord = newCoordinator(s, opts.WorkerURLs)
+	}
+	s.stats.Workers = opts.Workers
+	s.stats.QueueCap = opts.QueueCap
+	for _, rec := range recovered {
+		s.recoverLocked(rec)
+	}
+	for i := 0; i < opts.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// countPending counts recovered records that need re-running.
+func countPending(recs []jobRecord) int {
+	n := 0
+	for _, rec := range recs {
+		if rec.State == StateQueued || rec.State == StateRunning {
+			n++
+		}
+	}
+	return n
+}
+
+// recoverLocked restores one persisted job record into the table: done
+// jobs reattach their stored result bytes, failed/cancelled jobs keep
+// their terminal record, and queued/running jobs — interrupted by the
+// previous process — are re-enqueued. Runs before workers start, so no
+// locking is needed yet.
+func (s *Server) recoverLocked(rec jobRecord) {
+	var n uint64
+	if _, err := fmt.Sscanf(rec.ID, "job-%d", &n); err == nil && n > s.nextID {
+		s.nextID = n
+	}
+	j := &Job{
+		ID:        rec.ID,
+		Key:       rec.Key,
+		Kind:      rec.Kind,
+		Request:   rec.Request,
+		State:     rec.State,
+		Submitted: rec.Submitted,
+		Finished:  rec.Finished,
+		Error:     rec.Error,
+		watch:     make(chan struct{}),
+	}
+	switch rec.State {
+	case StateDone:
+		b, ok := s.cache.Get(rec.Key)
+		if !ok {
+			// The record says done but the result bytes are gone: re-run.
+			s.requeueRecovered(j)
+			return
+		}
+		j.resultJSON = b
+		j.Cached = true
+	case StateFailed, StateCancelled:
+		// Terminal; nothing to re-run.
+	default:
+		s.requeueRecovered(j)
+		return
+	}
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+}
+
+// requeueRecovered re-enqueues an interrupted job for a fresh run.
+func (s *Server) requeueRecovered(j *Job) {
+	run, err := s.compileFor(j.Request)
+	if err != nil {
+		// The request no longer compiles (e.g. a scheme was unregistered):
+		// surface a terminal failure instead of refusing to start.
+		j.State = StateFailed
+		j.Error = fmt.Sprintf("recovery: %v", err)
+		s.jobs[j.ID] = j
+		s.order = append(s.order, j.ID)
+		return
+	}
+	j.State = StateQueued
+	j.Error = ""
+	j.run = run
+	j.timeout = jobTimeout(j.Request, s.opts.JobTimeout)
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	s.queued++
+	s.queue <- j
+}
+
+// compileFor builds the executable jobFunc for a request: sweeps are
+// sharded by the coordinator when one is configured, everything else
+// compiles to a local run.
+func (s *Server) compileFor(req JobRequest) (jobFunc, error) {
+	if s.coord != nil && (req.Kind == "matrix" || req.Kind == "sensitivity") {
+		return s.coord.compile(req, s.opts.DefaultScale)
+	}
+	return compile(req, s.opts.DefaultScale)
+}
+
+// jobTimeout resolves a request's timeout against the server default.
+// Validation happened at submit time; a malformed persisted value falls
+// back to the default.
+func jobTimeout(req JobRequest, def time.Duration) time.Duration {
+	if req.Timeout != "" {
+		if d, err := time.ParseDuration(req.Timeout); err == nil && d > 0 {
+			return d
+		}
+	}
+	return def
+}
+
 // Submit validates req, assigns the next deterministic job ID
-// (job-000001, job-000002, ...) and enqueues the job. It returns
-// ErrQueueFull when the bounded queue has no room and ErrClosed after
-// Shutdown began.
+// (job-000001, job-000002, ...) and either serves it from the result
+// cache — a completed job with the same content address returns its
+// bytes without running — or enqueues it. It returns ErrQueueFull when
+// the bounded queue has no room and ErrClosed after Shutdown began.
 func (s *Server) Submit(req JobRequest) (*Job, error) {
-	run, err := compile(req, s.opts.DefaultScale)
+	run, err := s.compileFor(req)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
@@ -137,6 +316,8 @@ func (s *Server) Submit(req JobRequest) (*Job, error) {
 		}
 		timeout = d
 	}
+	key := jobKey(req, s.opts.DefaultScale)
+	cached, hit := s.cache.Get(key)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -146,6 +327,7 @@ func (s *Server) Submit(req JobRequest) (*Job, error) {
 	s.nextID++
 	j := &Job{
 		ID:        fmt.Sprintf("job-%06d", s.nextID),
+		Key:       key,
 		Kind:      req.Kind,
 		Request:   req,
 		State:     StateQueued,
@@ -153,6 +335,24 @@ func (s *Server) Submit(req JobRequest) (*Job, error) {
 		run:       run,
 		timeout:   timeout,
 		watch:     make(chan struct{}),
+	}
+	if hit {
+		// Served from the result cache: byte-identical to the first run,
+		// completed without touching the simulator.
+		now := time.Now()
+		j.State = StateDone
+		j.Started = now
+		j.Finished = now
+		j.Cached = true
+		j.resultJSON = cached
+		s.jobs[j.ID] = j
+		s.order = append(s.order, j.ID)
+		s.stats.Submitted++
+		s.stats.CacheHits++
+		s.stats.Done++
+		s.evictLocked()
+		s.persistJob(j)
+		return j, nil
 	}
 	select {
 	case s.queue <- j:
@@ -166,7 +366,26 @@ func (s *Server) Submit(req JobRequest) (*Job, error) {
 	s.queued++
 	s.stats.Submitted++
 	s.evictLocked()
+	s.persistJob(j)
 	return j, nil
+}
+
+// persistJob writes the job's current lifecycle record to the store, if
+// any. Callers hold mu (records are tiny; the write is atomic).
+func (s *Server) persistJob(j *Job) {
+	if s.store == nil {
+		return
+	}
+	s.store.PutJob(jobRecord{
+		ID:        j.ID,
+		Key:       j.Key,
+		Kind:      j.Kind,
+		Request:   j.Request,
+		State:     j.State,
+		Submitted: j.Submitted,
+		Finished:  j.Finished,
+		Error:     j.Error,
+	})
 }
 
 // evictLocked drops the oldest terminal job records beyond MaxJobs.
@@ -215,6 +434,7 @@ func (s *Server) Cancel(id string) bool {
 		j.State = StateCancelled
 		j.Finished = time.Now()
 		s.notifyLocked(j)
+		s.persistJob(j)
 	case StateRunning:
 		cancel = j.cancel
 	}
@@ -245,6 +465,10 @@ func (s *Server) Stats() Stats {
 	st := s.stats
 	st.Queued = s.queued
 	st.Running = s.running
+	if s.coord != nil {
+		st.RemoteCells = s.coord.remoteCells.Load()
+		st.FallbackCells = s.coord.fallbackCells.Load()
+	}
 	return st
 }
 
@@ -287,6 +511,7 @@ func (s *Server) runJob(j *Job) {
 	j.cancel = cancel
 	s.queued--
 	s.running++
+	s.stats.Executed++
 	s.notifyLocked(j)
 	hook := s.testHookRunning
 	s.mu.Unlock()
@@ -304,15 +529,24 @@ func (s *Server) runJob(j *Job) {
 
 	result, err := s.runRecovered(ctx, j, report)
 
+	// Marshal and memoise outside mu: the bytes are the result's canonical
+	// form, shared by the cache, the store and every later cache hit.
+	var resJSON []byte
+	if err == nil {
+		resJSON, err = json.Marshal(result)
+		if err == nil {
+			s.cache.Put(j.Key, resJSON)
+		}
+	}
+
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.running--
 	j.Finished = time.Now()
 	j.cancel = nil
 	switch {
 	case err == nil:
 		j.State = StateDone
-		j.result = result
+		j.resultJSON = resJSON
 		s.stats.Done++
 	case ctx.Err() != nil:
 		// Cancelled by request, timeout or shutdown.
@@ -325,6 +559,31 @@ func (s *Server) runJob(j *Job) {
 		s.stats.Failed++
 	}
 	s.notifyLocked(j)
+	// A job cancelled by shutdown (not by the user or its own timeout) was
+	// interrupted, not abandoned: persist it as queued so a restarted
+	// daemon re-enqueues and re-runs it.
+	if j.State == StateCancelled && s.baseCtx.Err() != nil {
+		s.persistInterrupted(j)
+	} else {
+		s.persistJob(j)
+	}
+	s.mu.Unlock()
+}
+
+// persistInterrupted records a shutdown-interrupted job as queued on
+// disk, keeping its in-memory state cancelled. Callers hold mu.
+func (s *Server) persistInterrupted(j *Job) {
+	if s.store == nil {
+		return
+	}
+	s.store.PutJob(jobRecord{
+		ID:        j.ID,
+		Key:       j.Key,
+		Kind:      j.Kind,
+		Request:   j.Request,
+		State:     StateQueued,
+		Submitted: j.Submitted,
+	})
 }
 
 // runRecovered executes the job body, converting a panic into an error so
@@ -341,9 +600,10 @@ func (s *Server) runRecovered(ctx context.Context, j *Job, report core.ProgressF
 // Shutdown stops the service gracefully: no further submissions are
 // accepted, queued and running jobs drain to completion, and when ctx
 // expires before the drain finishes every in-flight job is cancelled (a
-// replay stops within one request boundary). Shutdown returns once all
-// workers have exited; the returned error is ctx's error when the drain
-// was cut short.
+// replay stops within one request boundary; on a durable server the
+// interrupted jobs are persisted as queued so a restart resumes them).
+// Shutdown returns once all workers have exited; the returned error is
+// ctx's error when the drain was cut short.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if s.closed {
@@ -370,5 +630,8 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		<-done
 	}
 	s.baseCancel()
+	if s.coord != nil {
+		s.coord.client.CloseIdleConnections()
+	}
 	return err
 }

@@ -1,0 +1,117 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Store persists the job table under a data directory so a restarted
+// daemon serves completed results without re-running them and re-enqueues
+// work that was interrupted mid-flight:
+//
+//	<dir>/jobs/<id>.json      one lifecycle record per job
+//	<dir>/results/<key>.json  result bytes, content-addressed by job key
+//
+// Every write is atomic — the file is written to a .tmp sibling and
+// renamed into place — so a crash mid-write leaves either the previous
+// record or the new one, never a torn file. Results are content-addressed
+// by the canonical job key: concurrent jobs with the same key write
+// identical bytes, so the last rename winning is harmless.
+type Store struct {
+	dir string
+	// mu serialises writes; records are small, and one writer at a time
+	// keeps tmp-file names from colliding.
+	mu sync.Mutex
+}
+
+// OpenStore opens (creating if needed) a data directory.
+func OpenStore(dir string) (*Store, error) {
+	for _, sub := range []string{"jobs", "results"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("server: opening store: %w", err)
+		}
+	}
+	return &Store{dir: dir}, nil
+}
+
+// jobRecord is the on-disk form of one job's lifecycle state. Result
+// bytes live separately under results/, shared by every job with the
+// same key.
+type jobRecord struct {
+	ID        string     `json:"id"`
+	Key       string     `json:"key"`
+	Kind      string     `json:"kind"`
+	Request   JobRequest `json:"request"`
+	State     JobState   `json:"state"`
+	Submitted time.Time  `json:"submitted"`
+	Finished  time.Time  `json:"finished"`
+	Error     string     `json:"error,omitempty"`
+}
+
+// writeAtomic writes b to path via a tmp sibling and rename.
+func (st *Store) writeAtomic(path string, b []byte) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// PutJob persists one job lifecycle record.
+func (st *Store) PutJob(rec jobRecord) error {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	return st.writeAtomic(filepath.Join(st.dir, "jobs", rec.ID+".json"), b)
+}
+
+// LoadJobs returns every persisted job record, sorted by ID (submission
+// order — IDs are zero-padded sequence numbers). Torn or foreign files
+// are skipped: recovery restores what it can rather than refusing to
+// start.
+func (st *Store) LoadJobs() ([]jobRecord, error) {
+	entries, err := os.ReadDir(filepath.Join(st.dir, "jobs"))
+	if err != nil {
+		return nil, err
+	}
+	var recs []jobRecord
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(st.dir, "jobs", e.Name()))
+		if err != nil {
+			continue
+		}
+		var rec jobRecord
+		if err := json.Unmarshal(b, &rec); err != nil || rec.ID == "" {
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].ID < recs[j].ID })
+	return recs, nil
+}
+
+// PutResult persists result bytes under their content address.
+func (st *Store) PutResult(key string, b []byte) error {
+	return st.writeAtomic(filepath.Join(st.dir, "results", key+".json"), b)
+}
+
+// GetResult returns the persisted result bytes for a key.
+func (st *Store) GetResult(key string) ([]byte, bool) {
+	b, err := os.ReadFile(filepath.Join(st.dir, "results", key+".json"))
+	if err != nil || len(b) == 0 {
+		return nil, false
+	}
+	return b, true
+}

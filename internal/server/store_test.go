@@ -1,0 +1,128 @@
+package server
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestStoreRoundTrip persists job records and result bytes, reopens the
+// directory cold, and requires everything back intact and in submission
+// order.
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []jobRecord{
+		{
+			ID:        "job-000002",
+			Key:       "feedbeef",
+			Kind:      "run",
+			Request:   JobRequest{Kind: "run", Scheme: "IPU", Trace: "ts0", Scale: 0.01, Seed: 7},
+			State:     StateQueued,
+			Submitted: time.Date(2026, 8, 7, 12, 0, 1, 0, time.UTC),
+		},
+		{
+			ID:        "job-000001",
+			Key:       "deadbeef",
+			Kind:      "run",
+			Request:   JobRequest{Kind: "run", Scheme: "Baseline", Trace: "ads", Scale: 0.02, Seed: 3},
+			State:     StateDone,
+			Submitted: time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC),
+			Finished:  time.Date(2026, 8, 7, 12, 0, 2, 0, time.UTC),
+		},
+	}
+	for _, rec := range recs {
+		if err := st.PutJob(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	result := []byte(`{"Scheme":"Baseline","ReadHits":17}`)
+	if err := st.PutResult("deadbeef", result); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen cold, as a restarted daemon would.
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := st2.LoadJobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []jobRecord{recs[1], recs[0]} // sorted by ID
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("LoadJobs = %+v\nwant %+v", got, want)
+	}
+	b, ok := st2.GetResult("deadbeef")
+	if !ok || !bytes.Equal(b, result) {
+		t.Fatalf("GetResult = %q, %v; want original bytes", b, ok)
+	}
+	if _, ok := st2.GetResult("feedbeef"); ok {
+		t.Fatal("GetResult returned bytes for a key never stored")
+	}
+}
+
+// TestStoreUpdateReplacesRecord asserts PutJob on an existing ID is an
+// atomic replace — the lifecycle record a restart sees is the last state
+// written.
+func TestStoreUpdateReplacesRecord(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := jobRecord{ID: "job-000001", Key: "k", Kind: "run", State: StateQueued}
+	if err := st.PutJob(rec); err != nil {
+		t.Fatal(err)
+	}
+	rec.State = StateDone
+	if err := st.PutJob(rec); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.LoadJobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].State != StateDone {
+		t.Fatalf("LoadJobs = %+v, want one done record", got)
+	}
+}
+
+// TestStoreSkipsTornFiles plants torn, foreign and stray-tmp files in the
+// data directory and requires recovery to restore the good records and
+// skip the rest — a crashed daemon must restart on whatever survived.
+func TestStoreSkipsTornFiles(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := jobRecord{ID: "job-000001", Key: "k", Kind: "run", State: StateDone}
+	if err := st.PutJob(good); err != nil {
+		t.Fatal(err)
+	}
+	jobs := filepath.Join(dir, "jobs")
+	for name, body := range map[string]string{
+		"job-000002.json":     `{"id":"job-000002","state":"qu`, // torn mid-write
+		"job-000003.json":     `{"state":"queued"}`,             // no ID
+		"notes.txt":           "not a record",
+		"job-000004.json.tmp": `{"id":"job-000004"}`, // tmp never renamed
+	} {
+		if err := os.WriteFile(filepath.Join(jobs, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := st.LoadJobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || !reflect.DeepEqual(got[0], good) {
+		t.Fatalf("LoadJobs = %+v, want only the good record", got)
+	}
+}
