@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race serve serve-test serve-cluster-test bench bench-json bench-baseline bench-check experiments ablation sensitivity fuzz fuzz-parse fuzz-replay golden clean
+.PHONY: all build test vet race serve serve-test serve-cluster-test bench bench-json bench-baseline bench-check check-schemes experiments ablation sensitivity fuzz fuzz-parse fuzz-replay golden clean
 
 all: build test
 
@@ -46,6 +46,13 @@ serve-cluster-test:
 # change (inspect the diff in the test failure first).
 golden:
 	$(GO) test ./internal/core -run Golden -update
+
+# The scheme-matrix acceptance gate: every registered scheme through the
+# invariant harness (checked replays, stress, structural sweeps), the
+# cross-scheme differential runner, and the golden metric snapshots.
+check-schemes:
+	$(GO) test -count 1 ./internal/scheme
+	$(GO) test -count 1 -run 'TestDifferential|TestRunDifferential|TestGolden|TestRegistry|TestSchemeNames' ./internal/core
 
 # Regenerate every table and figure of the paper (plus the P/E sweep).
 experiments:

@@ -1,7 +1,9 @@
 // Command experiments regenerates every table and figure of the paper's
-// evaluation: it synthesises the six traces, replays each against the
-// Baseline, MGA and IPU schemes (in parallel across a worker pool), and
-// prints the corresponding series.
+// evaluation: it synthesises the six traces, replays each against the five
+// comparison schemes — Baseline, MGA and IPU from the source paper plus
+// the cross-paper IPS (In-place Switch) and IPU-PGC (preemptive GC)
+// counterparts — in parallel across a worker pool, and prints the
+// corresponding series, including the cross-paper scheme matrix.
 //
 // Usage:
 //
@@ -43,7 +45,7 @@ func main() {
 		scale    = flag.Float64("scale", 0.05, "trace request-count scale in (0,1]")
 		seed     = flag.Int64("seed", 42, "trace synthesis seed")
 		traces   = flag.String("traces", "", "comma-separated trace names (default: all six)")
-		schemes  = flag.String("schemes", "", "comma-separated schemes (default: Baseline,MGA,IPU)")
+		schemes  = flag.String("schemes", "", "comma-separated schemes (default: Baseline,MGA,IPU,IPS,IPU-PGC)")
 		pesweep  = flag.Bool("pesweep", false, "also run the Fig 13/14 P/E sweep")
 		ablate   = flag.Bool("ablate", false, "also run the IPU ablation study")
 		sens     = flag.String("sensitivity", "", "also sweep a device parameter: slcratio, gcthreshold, backlogcap or planes")
@@ -205,6 +207,7 @@ func run(ctx context.Context, out io.Writer, o runOpts) error {
 	tables := []*metrics.Table{
 		core.Fig5(rs), core.Fig6(rs), core.Fig7(rs), core.Fig8(rs),
 		core.Fig9(rs), core.Fig10(rs), core.Fig11(rs), core.Fig12(rs),
+		core.SchemeMatrix(rs),
 		core.Lifetime(rs, fc.SLCBlocks(), fc.MLCBlocks()),
 	}
 	for _, tab := range tables {

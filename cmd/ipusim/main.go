@@ -22,6 +22,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -54,7 +55,8 @@ type options struct {
 
 func main() {
 	var o options
-	flag.StringVar(&o.Scheme, "scheme", "IPU", "FTL scheme: Baseline, MGA or IPU")
+	flag.StringVar(&o.Scheme, "scheme", "",
+		"FTL scheme: "+strings.Join(core.SchemeNames, ", ")+" (default IPU, or the -config file's scheme)")
 	flag.StringVar(&o.Trace, "trace", "ts0", "synthetic trace profile name")
 	flag.StringVar(&o.File, "file", "", "replay an MSR-format CSV trace file instead")
 	flag.Float64Var(&o.Scale, "scale", 0.05, "synthetic trace scale in (0,1]")
@@ -106,6 +108,9 @@ func run(ctx context.Context, out io.Writer, o options) error {
 	}
 	if o.PE > 0 {
 		cfg.Flash.PEBaseline = o.PE
+	}
+	if o.Scheme == "" {
+		o.Scheme = "IPU"
 	}
 	cfg.Scheme = o.Scheme
 
@@ -200,6 +205,7 @@ func printResult(out io.Writer, r *core.Result, wall time.Duration) error {
 	t.AddRow("avg read latency", metrics.FormatDuration(r.AvgReadLatency))
 	t.AddRow("avg write latency", metrics.FormatDuration(r.AvgWriteLatency))
 	t.AddRow("p99 latency", metrics.FormatDuration(r.P99Latency))
+	t.AddRow("p99 read latency", metrics.FormatDuration(r.P99ReadLatency))
 	t.AddRow("read error rate", metrics.FormatSci(r.ReadErrorRate))
 	t.AddRow("read retries", fmt.Sprint(r.ReadRetries))
 	t.AddRow("uncorrectable reads", fmt.Sprint(r.UncorrectableReads))
@@ -215,6 +221,16 @@ func printResult(out io.Writer, r *core.Result, wall time.Duration) error {
 	t.AddRow("MLC GCs", fmt.Sprint(r.MLCGCs))
 	t.AddRow("GC page utilization", metrics.FormatPct(r.PageUtilization))
 	t.AddRow("GC moved subpages", fmt.Sprint(r.GCMovedSubpages))
+	t.AddRow("GC stall time", time.Duration(r.GCStallNS).String())
+	t.AddRow("write amplification", fmt.Sprintf("%.3f", r.WriteAmplification()))
+	if r.InPlaceSwitches > 0 {
+		t.AddRow("in-place switches", fmt.Sprint(r.InPlaceSwitches))
+		t.AddRow("switched subpages", fmt.Sprint(r.SwitchedSubpages))
+		t.AddRow("switch-back reclaims", fmt.Sprint(r.SwitchBackReclaims))
+	}
+	if r.PreemptiveGCs > 0 {
+		t.AddRow("preemptive GCs", fmt.Sprint(r.PreemptiveGCs))
+	}
 	t.AddRow("mapping table bytes", fmt.Sprint(r.MappingBytes))
 	t.AddRow("mapping normalized", fmt.Sprintf("%.4f", r.MappingNormalized))
 	t.AddRow("host writes to MLC", fmt.Sprint(r.HostWritesToMLC))

@@ -149,6 +149,19 @@ func TestRunWithConfigFile(t *testing.T) {
 	}
 }
 
+// An empty Scheme means "not set on the command line": with a config file
+// the config's scheme wins, without one the default is IPU. The -scheme
+// flag therefore defaults to empty so it only overrides when given.
+func TestRunSchemeDefaultsToIPU(t *testing.T) {
+	var out strings.Builder
+	if err := run(bg(), &out, options{Trace: "ads", Scale: 0.002, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "IPU on ads") {
+		t.Errorf("empty scheme did not default to IPU:\n%s", out.String())
+	}
+}
+
 func TestRunProgressFlag(t *testing.T) {
 	var out, prog strings.Builder
 	o := options{Scheme: "IPU", Trace: "ads", Scale: 0.002, Seed: 1, Progress: &prog}

@@ -280,16 +280,25 @@ func (c *Checker) structural() error {
 			return fmt.Errorf("check: block %d erase count regressed %d -> %d", id, c.lastErase[id], b.EraseCount)
 		}
 		c.lastErase[id] = b.EraseCount
-		// Mode partition is fixed at construction.
-		if wantSLC := id < nSLC; (b.Mode == flash.ModeSLC) != wantSLC {
-			return fmt.Errorf("check: block %d mode %v violates the SLC/MLC partition", id, b.Mode)
+		// Mode partition: an SLC-home block may leave ModeSLC only
+		// through an in-place switch; native MLC blocks never change.
+		if id < nSLC {
+			if b.Mode != flash.ModeSLC && !b.Switched {
+				return fmt.Errorf("check: block %d mode %v violates the SLC/MLC partition", id, b.Mode)
+			}
+			if b.Mode == flash.ModeSLC && b.Switched {
+				return fmt.Errorf("check: block %d in SLC mode but flagged switched", id)
+			}
+		} else if b.Mode != flash.ModeMLC || b.Switched {
+			return fmt.Errorf("check: block %d mode %v/switched=%v violates the SLC/MLC partition", id, b.Mode, b.Switched)
 		}
 		for p := range b.Pages {
 			pg := &b.Pages[p]
 			// Program budgets: at most MaxProgramsPerSLCPage partial-
-			// programming operations on an SLC page, exactly one program
-			// on an MLC page.
-			if b.Mode == flash.ModeSLC {
+			// programming operations on an SLC-home page (switched blocks
+			// keep the programs they received while in SLC mode), exactly
+			// one program on a native MLC page.
+			if id < nSLC {
 				if int(pg.ProgramCount) > c.cfg.MaxProgramsPerSLCPage {
 					return fmt.Errorf("check: SLC block %d page %d has %d programs, budget %d",
 						id, p, pg.ProgramCount, c.cfg.MaxProgramsPerSLCPage)
@@ -301,6 +310,28 @@ func (c *Checker) structural() error {
 			// the current mapping of the LSN it stores.
 			for s := range pg.Slots {
 				sp := &pg.Slots[s]
+				if sp.ReprogramStress > 0 && !b.Switched {
+					return fmt.Errorf("check: block %d page %d slot %d records reprogram stress outside a switched block", id, p, s)
+				}
+				if b.Switched && b.NextFreePage > 0 {
+					// A reprogrammed page may never hold stale subpage
+					// versions: the switch physically overwrites obsolete
+					// data, so any slot that survived it holds either the
+					// current version of its LSN or nothing. Free slots are
+					// sealed at switch time (an MLC page cannot be
+					// partially programmed afterwards), and a surviving
+					// stale version would show up as an invalid slot with
+					// no reprogram pass recorded.
+					switch sp.State {
+					case flash.SubFree:
+						return fmt.Errorf("check: switched block %d page %d slot %d still free (not sealed by the reprogram pass)", id, p, s)
+					case flash.SubValid, flash.SubInvalid:
+						if sp.ReprogramStress == 0 {
+							return fmt.Errorf("check: switched block %d page %d slot %d holds LSN %d with no reprogram pass (stale pre-switch version)",
+								id, p, s, sp.LSN)
+						}
+					}
+				}
 				if sp.State != flash.SubValid {
 					continue
 				}
@@ -314,7 +345,7 @@ func (c *Checker) structural() error {
 				}
 			}
 		}
-		if b.Mode == flash.ModeMLC && b.PartialOps != 0 {
+		if b.Mode == flash.ModeMLC && !b.Switched && b.PartialOps != 0 {
 			return fmt.Errorf("check: MLC block %d records %d partial programs", id, b.PartialOps)
 		}
 	}
@@ -340,6 +371,36 @@ func (c *Checker) structural() error {
 	return nil
 }
 
+// CheckReclaim verifies a block is safe to erase: it holds no live
+// subpages (recomputed from slot states, not the cached counter) and no
+// current mapping points into it. Preemptive GC calls this before every
+// incremental victim erase — reclaiming a block that still holds live
+// data would silently lose it. No-op below Full.
+func (c *Checker) CheckReclaim(now int64, blockID int) error {
+	if c.level < Full {
+		return nil
+	}
+	b := c.arr.Block(blockID)
+	if b.ValidSub != 0 {
+		return fmt.Errorf("check: reclaim of block %d at t=%d with %d valid subpages", blockID, now, b.ValidSub)
+	}
+	for p := range b.Pages {
+		for s := range b.Pages[p].Slots {
+			if b.Pages[p].Slots[s].State == flash.SubValid {
+				return fmt.Errorf("check: reclaim of block %d at t=%d would destroy live LSN %d (page %d slot %d)",
+					blockID, now, b.Pages[p].Slots[s].LSN, p, s)
+			}
+		}
+	}
+	for l := 0; l < c.m.Len(); l++ {
+		if ppa := c.m.Get(flash.LSN(l)); ppa.Mapped() && ppa.Block() == blockID {
+			return fmt.Errorf("check: reclaim of block %d at t=%d but LSN %d still maps into it at %v",
+				blockID, now, l, ppa)
+		}
+	}
+	return nil
+}
+
 // CheckSLCGauges compares the scheme's cached SLC occupancy gauges (free
 // pages, valid subpages, pages holding valid data) against values
 // recomputed from the array. Gauge drift silently breaks GC triggering
@@ -352,6 +413,11 @@ func (c *Checker) CheckSLCGauges(freePages int, validSub, pagesWithValid int64) 
 	var wantValid, wantPages int64
 	for id := 0; id < c.cfg.SLCBlocks(); id++ {
 		b := c.arr.Block(id)
+		if b.Mode != flash.ModeSLC {
+			// Switched blocks have left the cache; their pages count
+			// toward neither the free-page nor the occupancy gauges.
+			continue
+		}
 		wantFree += b.FreePages()
 		wantValid += int64(b.ValidSub)
 		for p := range b.Pages {

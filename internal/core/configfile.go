@@ -89,12 +89,13 @@ type fileConfig struct {
 	} `json:"flash"`
 
 	Error struct {
-		RefPE         *float64 `json:"refPE,omitempty"`
-		RefBER        *float64 `json:"refBER,omitempty"`
-		Exponent      *float64 `json:"exponent,omitempty"`
-		PartialFactor *float64 `json:"partialFactor,omitempty"`
-		InPageAlpha   *float64 `json:"inPageAlpha,omitempty"`
-		NeighborBeta  *float64 `json:"neighborBeta,omitempty"`
+		RefPE          *float64 `json:"refPE,omitempty"`
+		RefBER         *float64 `json:"refBER,omitempty"`
+		Exponent       *float64 `json:"exponent,omitempty"`
+		PartialFactor  *float64 `json:"partialFactor,omitempty"`
+		InPageAlpha    *float64 `json:"inPageAlpha,omitempty"`
+		NeighborBeta   *float64 `json:"neighborBeta,omitempty"`
+		ReprogramGamma *float64 `json:"reprogramGamma,omitempty"`
 	} `json:"error"`
 }
 
@@ -199,6 +200,7 @@ func LoadConfig(r io.Reader) (Config, error) {
 	setF(&cfg.Error.PartialFactor, e.PartialFactor)
 	setF(&cfg.Error.InPageAlpha, e.InPageAlpha)
 	setF(&cfg.Error.NeighborBeta, e.NeighborBeta)
+	setF(&cfg.Error.ReprogramGamma, e.ReprogramGamma)
 
 	if err := cfg.Flash.Validate(); err != nil {
 		return cfg, fmt.Errorf("core: config: %w", err)

@@ -340,6 +340,7 @@ func (s *Simulator) Result(traceName string, requests int) *Result {
 		PEBaseline:         d.Cfg.PEBaseline,
 		Requests:           requests,
 		AvgReadLatency:     m.ReadLatency.Mean(),
+		P99ReadLatency:     m.ReadLatency.Percentile(0.99),
 		AvgWriteLatency:    m.WriteLatency.Mean(),
 		AvgLatency:         m.AllLatency.Mean(),
 		P99Latency:         m.AllLatency.Percentile(0.99),
@@ -365,6 +366,13 @@ func (s *Simulator) Result(traceName string, requests int) *Result {
 		SubpageReadsMLC:    m.SubpageReadsMLC,
 		SLCWearMin:         wearMin,
 		SLCWearMax:         wearMax,
+
+		HostSubpagesWritten: m.HostSubpagesWritten,
+		GCStallNS:           d.Eng.Stats.CapStallNS,
+		InPlaceSwitches:     m.InPlaceSwitches,
+		SwitchedSubpages:    m.SwitchedSubpages,
+		SwitchBackReclaims:  m.SwitchBackReclaims,
+		PreemptiveGCs:       m.PreemptiveGCs,
 	}
 }
 
@@ -381,6 +389,7 @@ type Result struct {
 	AvgWriteLatency time.Duration
 	AvgLatency      time.Duration
 	P99Latency      time.Duration
+	P99ReadLatency  time.Duration
 
 	// Fig. 8 / Fig. 14.
 	ReadErrorRate      float64
@@ -416,6 +425,36 @@ type Result struct {
 	// SLCWearMin/Max bound the per-block erase counts of the SLC region at
 	// run end: a tight band confirms the static wear levelling of Table 2.
 	SLCWearMin, SLCWearMax int
+
+	// Cross-paper scheme-matrix quantities. HostSubpagesWritten is the
+	// write-amplification denominator; GCStallNS is host time stalled on
+	// background GC backlog (the matrix's GC stall column); the remaining
+	// counters are nonzero only for the IPS and IPU-PGC schemes.
+	HostSubpagesWritten int64
+	GCStallNS           int64
+	InPlaceSwitches     int64
+	SwitchedSubpages    int64
+	SwitchBackReclaims  int64
+	PreemptiveGCs       int64
+}
+
+// WriteAmplification returns total subpage programs per host subpage
+// written: 1 plus GC movement overhead. Zero when nothing was written.
+func (r *Result) WriteAmplification() float64 {
+	if r.HostSubpagesWritten == 0 {
+		return 0
+	}
+	return 1 + float64(r.GCMovedSubpages)/float64(r.HostSubpagesWritten)
+}
+
+// ReadHitRatio returns the fraction of subpage reads served by SLC-mode
+// blocks — the cache hit ratio of the scheme matrix.
+func (r *Result) ReadHitRatio() float64 {
+	total := r.SubpageReadsSLC + r.SubpageReadsMLC
+	if total == 0 {
+		return 0
+	}
+	return float64(r.SubpageReadsSLC) / float64(total)
 }
 
 // SLCWriteShare returns the fraction of page programs completed in

@@ -206,7 +206,7 @@ func TestResultSetAndFigures(t *testing.T) {
 		t.Fatal(err)
 	}
 	rs := NewResultSet(res)
-	if len(rs.Traces()) != 2 || len(rs.Schemes()) != 3 || len(rs.PEs()) != 1 {
+	if len(rs.Traces()) != 2 || len(rs.Schemes()) != 5 || len(rs.PEs()) != 1 {
 		t.Fatalf("result set shape: %v %v %v", rs.Traces(), rs.Schemes(), rs.PEs())
 	}
 	if rs.Get("ts0", "IPU", rs.PEs()[0]) == nil {

@@ -25,8 +25,8 @@ func differentialFlash() flash.Config {
 
 func TestDifferentialSchemes(t *testing.T) {
 	got := DifferentialSchemes()
-	if len(got) != 7 {
-		t.Fatalf("schemes = %v, want 3 paper schemes + 4 IPU variants", got)
+	if len(got) != 9 {
+		t.Fatalf("schemes = %v, want 5 comparison schemes + 4 IPU variants", got)
 	}
 	for i, want := range SchemeNames {
 		if got[i] != want {

@@ -6,12 +6,13 @@ import (
 	"testing"
 
 	"ipusim/internal/check/golden"
+	"ipusim/internal/trace"
 )
 
-// TestGoldenMetrics pins the full report of two traces across all three
-// schemes to snapshot files. Any behavioural drift — a changed GC decision,
-// a latency model tweak, an accounting fix — fails here with a line diff.
-// Accept intentional changes with:
+// TestGoldenMetrics pins the full report of two traces across all five
+// comparison schemes to snapshot files. Any behavioural drift — a changed
+// GC decision, a latency model tweak, an accounting fix — fails here with a
+// line diff. Accept intentional changes with:
 //
 //	go test ./internal/core -run Golden -update
 func TestGoldenMetrics(t *testing.T) {
@@ -25,11 +26,42 @@ func TestGoldenMetrics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res) != 6 {
-		t.Fatalf("results = %d, want 6", len(res))
+	if len(res) != 10 {
+		t.Fatalf("results = %d, want 10", len(res))
 	}
 	for _, r := range res {
 		r := r
+		t.Run(fmt.Sprintf("%s-%s", r.Trace, r.Scheme), func(t *testing.T) {
+			snap := *r
+			path := filepath.Join("testdata", "golden", fmt.Sprintf("%s-%s.json", r.Trace, r.Scheme))
+			golden.Check(t, path, &snap)
+		})
+	}
+}
+
+// TestGoldenNewSchemesAllTraces pins the two cross-paper schemes — IPS and
+// IPU-PGC — across all six synthetic traces, so a drift in the in-place
+// switch or preemptive-GC decision logic on any workload shape fails CI
+// even where the two-trace matrix above would not exercise it.
+func TestGoldenNewSchemesAllTraces(t *testing.T) {
+	fc := smallFlash()
+	res, err := RunMatrix(MatrixSpec{
+		Traces:  trace.ProfileNames(),
+		Schemes: []string{"IPS", "IPU-PGC"},
+		Scale:   0.003,
+		Flash:   &fc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * len(trace.ProfileNames()); len(res) != want {
+		t.Fatalf("results = %d, want %d", len(res), want)
+	}
+	for _, r := range res {
+		r := r
+		if r.Trace == "ts0" || r.Trace == "wdev0" {
+			continue // already pinned by TestGoldenMetrics
+		}
 		t.Run(fmt.Sprintf("%s-%s", r.Trace, r.Scheme), func(t *testing.T) {
 			snap := *r
 			path := filepath.Join("testdata", "golden", fmt.Sprintf("%s-%s.json", r.Trace, r.Scheme))

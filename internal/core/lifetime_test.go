@@ -48,9 +48,9 @@ func TestLifetimeTable(t *testing.T) {
 		t.Fatal(err)
 	}
 	tab := Lifetime(NewResultSet(res), fc.SLCBlocks(), fc.MLCBlocks())
-	// 3 cell technologies x 3 schemes.
-	if len(tab.Rows) != 9 {
-		t.Fatalf("rows = %d, want 9", len(tab.Rows))
+	// 3 cell technologies x 5 schemes.
+	if len(tab.Rows) != 15 {
+		t.Fatalf("rows = %d, want 15", len(tab.Rows))
 	}
 	var sb strings.Builder
 	if err := tab.Render(&sb); err != nil {

@@ -28,10 +28,34 @@ var (
 	schemeOrder []string
 )
 
-// SchemeNames lists the paper's comparison counterparts in the paper's
-// order. It is derived from the registry: the entries registered as paper
-// schemes at init, in registration order.
+// SchemeNames lists the comparison schemes of the matrix: the source
+// paper's three counterparts in the paper's presentation order, then the
+// cross-paper additions alphabetically. It is derived from the registry —
+// every entry registered as a paper scheme lands here — and re-sorted
+// canonically on each registration, so the ordering (and with it matrix,
+// differential and golden output) is independent of package init order.
 var SchemeNames []string
+
+// paperSchemeRank pins the source paper's schemes to the front of
+// SchemeNames in the paper's own order; everything else sorts
+// alphabetically after them.
+var paperSchemeRank = map[string]int{"Baseline": 0, "MGA": 1, "IPU": 2}
+
+// sortSchemeNames sorts names into the canonical SchemeNames order.
+func sortSchemeNames(names []string) {
+	sort.SliceStable(names, func(i, j int) bool {
+		ri, iPaper := paperSchemeRank[names[i]]
+		rj, jPaper := paperSchemeRank[names[j]]
+		switch {
+		case iPaper && jPaper:
+			return ri < rj
+		case iPaper != jPaper:
+			return iPaper
+		default:
+			return names[i] < names[j]
+		}
+	})
+}
 
 // RegisterScheme adds a named scheme builder to the registry. Name lookups
 // in Config.Scheme, the experiment drivers and the daemon all resolve
@@ -95,6 +119,15 @@ func init() {
 	})
 	registerPaperScheme("IPU", ipuBuilder(scheme.DefaultIPUVariant()))
 
+	// The cross-paper counterparts: In-place Switch (arXiv:2409.14360)
+	// and IPU with a time-efficient preemptive GC (arXiv:1807.09313).
+	registerPaperScheme("IPS", func(fc *flash.Config, em *errmodel.Model) (scheme.Scheme, error) {
+		return scheme.NewIPS(fc, em)
+	})
+	registerPaperScheme("IPU-PGC", func(fc *flash.Config, em *errmodel.Model) (scheme.Scheme, error) {
+		return scheme.NewIPUPGC(fc, em, scheme.DefaultPGCConfig())
+	})
+
 	// The remaining IPU ablation/extension variants, sorted for a
 	// deterministic registration order.
 	variants := scheme.IPUVariants()
@@ -110,12 +143,14 @@ func init() {
 	}
 }
 
-// registerPaperScheme registers a builder and appends the name to
-// SchemeNames, keeping the paper's comparison set derived from the
-// registry.
+// registerPaperScheme registers a builder and inserts the name into
+// SchemeNames at its canonical position, keeping the comparison set
+// derived from the registry but ordered independently of registration
+// order.
 func registerPaperScheme(name string, build SchemeBuilder) {
 	RegisterScheme(name, build)
 	SchemeNames = append(SchemeNames, name)
+	sortSchemeNames(SchemeNames)
 }
 
 // ipuBuilder adapts one IPU variant to the SchemeBuilder shape.

@@ -10,24 +10,27 @@ import (
 	"ipusim/internal/trace"
 )
 
-// TestRegistryBuiltins asserts the registry carries the paper schemes (in
-// the paper's order, from which SchemeNames derives) followed by every IPU
-// variant.
+// TestRegistryBuiltins asserts the registry carries the comparison schemes
+// (the paper's three in the paper's order, then the cross-paper additions
+// alphabetically, from which SchemeNames derives) plus every IPU variant.
 func TestRegistryBuiltins(t *testing.T) {
 	names := Schemes()
-	if len(names) < 3 {
-		t.Fatalf("registry has %d schemes, want at least the paper's three", len(names))
+	if len(names) < 5 {
+		t.Fatalf("registry has %d schemes, want at least the five comparison schemes", len(names))
 	}
 	for i, want := range []string{"Baseline", "MGA", "IPU"} {
 		if names[i] != want {
 			t.Fatalf("Schemes()[%d] = %q, want %q", i, names[i], want)
 		}
+	}
+	wantNames := []string{"Baseline", "MGA", "IPU", "IPS", "IPU-PGC"}
+	if len(SchemeNames) != len(wantNames) {
+		t.Fatalf("SchemeNames = %v, want the five comparison schemes", SchemeNames)
+	}
+	for i, want := range wantNames {
 		if SchemeNames[i] != want {
 			t.Fatalf("SchemeNames[%d] = %q, want %q", i, SchemeNames[i], want)
 		}
-	}
-	if len(SchemeNames) != 3 {
-		t.Fatalf("SchemeNames = %v, want exactly the paper's three", SchemeNames)
 	}
 	reg := map[string]bool{}
 	for _, n := range names {
@@ -36,6 +39,28 @@ func TestRegistryBuiltins(t *testing.T) {
 	for v := range scheme.IPUVariants() {
 		if !reg[v] {
 			t.Fatalf("IPU variant %q not registered", v)
+		}
+	}
+}
+
+// TestSchemeNamesOrderDeterministic asserts the canonical sort is a pure
+// function of the name set — any registration order yields the same
+// SchemeNames — so matrix, differential and golden output cannot silently
+// reorder when init order changes.
+func TestSchemeNamesOrderDeterministic(t *testing.T) {
+	want := []string{"Baseline", "MGA", "IPU", "IPS", "IPU-PGC", "Other-A", "Other-B"}
+	perms := [][]string{
+		{"IPU-PGC", "IPS", "IPU", "MGA", "Baseline", "Other-B", "Other-A"},
+		{"Other-A", "Baseline", "IPS", "Other-B", "MGA", "IPU-PGC", "IPU"},
+		{"IPS", "IPU-PGC", "Other-B", "Other-A", "IPU", "Baseline", "MGA"},
+	}
+	for _, p := range perms {
+		got := append([]string(nil), p...)
+		sortSchemeNames(got)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("from %v: sorted = %v, want %v", p, got, want)
+			}
 		}
 	}
 }

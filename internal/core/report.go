@@ -300,6 +300,31 @@ func Fig12(rs *ResultSet) *metrics.Table {
 	return t
 }
 
+// SchemeMatrix renders the cross-paper comparison: every registered paper
+// scheme (the source paper's three plus In-place Switch and preemptive-GC
+// IPU) against the metrics the schemes trade between — cache hit ratio,
+// write amplification, tail read latency, and GC stall time — plus the
+// switch/preemption activity counters that explain the trade.
+func SchemeMatrix(rs *ResultSet) *metrics.Table {
+	t := metrics.NewTable("Scheme matrix: cross-paper comparison",
+		"Trace", "Scheme", "readHit", "WA", "p99read", "GCstall", "switches", "preGCs")
+	pe := rs.defaultPE()
+	for _, tr := range rs.traces {
+		for _, sc := range rs.schemes {
+			if r := rs.Get(tr, sc, pe); r != nil {
+				t.AddRow(tr, sc,
+					metrics.FormatPct(r.ReadHitRatio()),
+					fmt.Sprintf("%.3f", r.WriteAmplification()),
+					metrics.FormatDuration(r.P99ReadLatency),
+					time.Duration(r.GCStallNS).String(),
+					fmt.Sprint(r.InPlaceSwitches),
+					fmt.Sprint(r.PreemptiveGCs))
+			}
+		}
+	}
+	return t
+}
+
 // AblationSchemes lists the IPU variants the ablation study compares:
 // the full design, each mechanism removed, and the future-work extension.
 var AblationSchemes = []string{"IPU", "IPU-greedyGC", "IPU-flat", "IPU-noupdate", "IPU-AC"}

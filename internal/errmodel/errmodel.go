@@ -36,6 +36,11 @@ type Model struct {
 	// NeighborBeta is the relative BER increase per partial-programming
 	// operation applied to an adjacent page.
 	NeighborBeta float64
+	// ReprogramGamma is the relative BER increase per in-place reprogram
+	// pass (SLC-to-MLC switch) the subpage survived while valid.
+	// Reprogramming re-shifts the threshold voltage of already-written
+	// cells without an erase, widening their voltage distributions.
+	ReprogramGamma float64
 
 	// CodewordDataBits is the payload covered by one BCH codeword; the
 	// simulator uses one codeword per 4 KiB subpage.
@@ -66,6 +71,7 @@ func Default() Model {
 		PartialFactor:    3.8e-4 / 2.8e-4,
 		InPageAlpha:      0.045,
 		NeighborBeta:     0.01,
+		ReprogramGamma:   0.25,
 		CodewordDataBits: 4096 * 8,
 		CorrectableBits:  40,
 		ECCMin:           500 * time.Nanosecond,
@@ -86,6 +92,8 @@ func (m *Model) Validate() error {
 		return errors.New("errmodel: PartialFactor must be >= 1")
 	case m.InPageAlpha < 0 || m.NeighborBeta < 0:
 		return errors.New("errmodel: disturb coefficients must be non-negative")
+	case m.ReprogramGamma < 0:
+		return errors.New("errmodel: ReprogramGamma must be non-negative")
 	case m.CodewordDataBits <= 0 || m.CorrectableBits <= 0:
 		return errors.New("errmodel: codeword geometry must be positive")
 	case m.ECCMin < 0 || m.ECCMax < m.ECCMin:
@@ -114,10 +122,14 @@ func (m *Model) RawBER(pe int, partial bool) float64 {
 
 // EffectiveBER returns the bit error rate observed when reading a subpage,
 // combining the programming-mode base rate with accumulated in-page and
-// neighbouring-page disturb.
+// neighbouring-page disturb and in-place reprogram stress. With zero
+// stress counts the result is exactly the base rate.
 func (m *Model) EffectiveBER(pe int, sp *flash.Subpage) float64 {
 	base := m.RawBER(pe, sp.Partial)
-	return base * (1 + m.InPageAlpha*float64(sp.InPageDisturb) + m.NeighborBeta*float64(sp.NeighborDisturb))
+	return base * (1 +
+		m.InPageAlpha*float64(sp.InPageDisturb) +
+		m.NeighborBeta*float64(sp.NeighborDisturb) +
+		m.ReprogramGamma*float64(sp.ReprogramStress))
 }
 
 // ExpectedErrors converts a BER into the expected raw bit errors of one

@@ -27,6 +27,7 @@ func TestValidateRejections(t *testing.T) {
 		{"partial factor below one", func(m *Model) { m.PartialFactor = 0.9 }},
 		{"negative alpha", func(m *Model) { m.InPageAlpha = -0.1 }},
 		{"negative beta", func(m *Model) { m.NeighborBeta = -0.1 }},
+		{"negative gamma", func(m *Model) { m.ReprogramGamma = -0.1 }},
 		{"zero codeword", func(m *Model) { m.CodewordDataBits = 0 }},
 		{"zero correctable", func(m *Model) { m.CorrectableBits = 0 }},
 		{"ecc max below min", func(m *Model) { m.ECCMax = m.ECCMin - 1 }},
@@ -106,6 +107,48 @@ func TestEffectiveBERDisturbScaling(t *testing.T) {
 	want := m.RawBER(4000, true) * (1 + 2*m.InPageAlpha + 2*m.NeighborBeta)
 	if got := m.EffectiveBER(4000, &both); math.Abs(got-want) > 1e-12 {
 		t.Errorf("combined BER = %g, want %g", got, want)
+	}
+}
+
+// TestEffectiveBERReprogramStress pins the in-place reprogram penalty: the
+// table anchors the additive term at known stress counts, zero stress must
+// reproduce the pre-switch EffectiveBER exactly, and the term composes with
+// the partial/disturb factors it shares the multiplier with.
+func TestEffectiveBERReprogramStress(t *testing.T) {
+	m := Default()
+	base := m.RawBER(4000, false)
+	cases := []struct {
+		name string
+		sp   flash.Subpage
+		want float64
+	}{
+		{"zero stress equals base", flash.Subpage{State: flash.SubValid}, base},
+		{"one pass", flash.Subpage{State: flash.SubValid, ReprogramStress: 1}, base * (1 + m.ReprogramGamma)},
+		{"three passes", flash.Subpage{State: flash.SubValid, ReprogramStress: 3}, base * (1 + 3*m.ReprogramGamma)},
+		{"stress with partial", flash.Subpage{State: flash.SubValid, Partial: true, ReprogramStress: 2},
+			m.RawBER(4000, true) * (1 + 2*m.ReprogramGamma)},
+		{"stress with disturb", flash.Subpage{State: flash.SubValid, InPageDisturb: 2, NeighborDisturb: 1, ReprogramStress: 1},
+			base * (1 + 2*m.InPageAlpha + 1*m.NeighborBeta + 1*m.ReprogramGamma)},
+	}
+	for _, c := range cases {
+		if got := m.EffectiveBER(4000, &c.sp); math.Abs(got-c.want) > 1e-15 {
+			t.Errorf("%s: EffectiveBER = %g, want %g", c.name, got, c.want)
+		}
+	}
+}
+
+// TestEffectiveBERMonotonicInReprogramStress checks each additional switch
+// pass strictly raises the read error rate.
+func TestEffectiveBERMonotonicInReprogramStress(t *testing.T) {
+	m := Default()
+	prev := 0.0
+	for stress := uint16(0); stress <= 16; stress++ {
+		sp := flash.Subpage{State: flash.SubValid, ReprogramStress: stress}
+		got := m.EffectiveBER(4000, &sp)
+		if got <= prev {
+			t.Fatalf("BER not increasing at stress=%d: %g <= %g", stress, got, prev)
+		}
+		prev = got
 	}
 }
 

@@ -362,6 +362,76 @@ func (a *Array) Erase(blockID int) error {
 	return nil
 }
 
+// SwitchToMLC reprograms an SLC cache block into MLC mode in place — the
+// In-place Switch operation. Valid data stays where it is (the mapping is
+// untouched) but every cell is re-shifted to high-density voltage levels
+// without an erase, so:
+//
+//   - valid slots accumulate one ReprogramStress pass each;
+//   - obsolete (invalid) slots are physically overwritten by the
+//     reprogramming pass — no stale version of any logical subpage can
+//     survive a switch, so they become dead with no LSN;
+//   - free slots are sealed dead: an MLC page cannot be partially
+//     programmed, so nothing can land in them before the next erase.
+//
+// The block leaves the SLC cache: its J aggregates are removed from the
+// array-wide Eq. 2 sums and its used bit is cleared so GC victim scans
+// skip it. It rejoins the cache only through SwitchToSLC after an erase.
+func (a *Array) SwitchToMLC(blockID int) error {
+	if blockID >= a.cfg.SLCBlocks() {
+		return fmt.Errorf("flash: switching non-SLC-home block %d", blockID)
+	}
+	b := &a.blocks[blockID]
+	if b.Mode != ModeSLC {
+		return fmt.Errorf("flash: switching block %d already in MLC mode", blockID)
+	}
+	for p := range b.Pages {
+		pg := &b.Pages[p]
+		for i := range pg.Slots {
+			s := &pg.Slots[i]
+			switch s.State {
+			case SubValid:
+				s.ReprogramStress++
+			case SubInvalid:
+				*s = Subpage{LSN: InvalidLSN, State: SubDead}
+				b.InvalidSub--
+				b.DeadSub++
+			case SubFree:
+				s.State = SubDead
+				b.DeadSub++
+			}
+		}
+	}
+	a.SLCJCount -= int64(b.JCount)
+	a.SLCJSumWT -= b.JSumWT
+	a.slcUsed[blockID>>6] &^= 1 << (blockID & 63)
+	b.NextFreePage = len(b.Pages)
+	b.Mode = ModeMLC
+	b.Level = LevelHighDensity
+	b.Switched = true
+	return nil
+}
+
+// SwitchToSLC returns an erased switched block to the SLC cache, undoing
+// SwitchToMLC. The block must be erased first: switch-back is a voltage
+// re-calibration of empty cells, not a data transformation.
+func (a *Array) SwitchToSLC(blockID int) error {
+	if blockID >= a.cfg.SLCBlocks() {
+		return fmt.Errorf("flash: switch-back of non-SLC-home block %d", blockID)
+	}
+	b := &a.blocks[blockID]
+	if !b.Switched || b.Mode != ModeMLC {
+		return fmt.Errorf("flash: switch-back of non-switched block %d", blockID)
+	}
+	if !b.Erased() {
+		return fmt.Errorf("flash: switch-back of non-erased block %d", blockID)
+	}
+	b.Mode = ModeSLC
+	b.Level = LevelWork
+	b.Switched = false
+	return nil
+}
+
 // UsedSLCWords exposes the used-block bitset for victim-selection scans:
 // bit i of word w is set while SLC block w*64+i holds programmed data.
 // Callers must treat the slice as read-only.

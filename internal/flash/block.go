@@ -52,6 +52,12 @@ type Subpage struct {
 	// NeighborDisturb counts partial-programming operations applied to
 	// physically adjacent pages while this slot held valid data.
 	NeighborDisturb uint16
+	// ReprogramStress counts in-place reprogramming passes (SLC-to-MLC
+	// switches) the slot survived while holding valid data. Reprogramming
+	// re-shifts the cell's threshold voltage without an erase, which
+	// raises its bit error rate; the error model charges a penalty per
+	// accumulated pass. Reset by erase.
+	ReprogramStress uint16
 }
 
 // Page is a physical 16 KiB page: a run of subpage slots plus a program
@@ -79,8 +85,15 @@ func (p *Page) FreeSlots() int {
 type Block struct {
 	// ID is the global block index.
 	ID int
-	// Mode is fixed at array construction: SLC cache or MLC native.
+	// Mode is assigned at array construction — SLC cache blocks occupy the
+	// low IDs — and changes only through Array.SwitchToMLC/SwitchToSLC:
+	// the In-place Switch scheme reprograms an SLC cache block into MLC
+	// mode without moving its data.
 	Mode Mode
+	// Switched marks an SLC-home block currently operating in MLC mode
+	// after an in-place switch. It stays set across the block's erase and
+	// clears only when SwitchToSLC returns the block to the cache.
+	Switched bool
 	// Level is the IPU hot/cold level. MLC blocks stay at LevelHighDensity;
 	// SLC blocks are assigned Work/Monitor/Hot by the scheme.
 	Level BlockLevel

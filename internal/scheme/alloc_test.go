@@ -25,6 +25,10 @@ func preconditioned(tb testing.TB, name string) Scheme {
 		s, err = NewMGA(&cfg, &em)
 	case "IPU":
 		s, err = NewIPU(&cfg, &em)
+	case "IPS":
+		s, err = NewIPS(&cfg, &em)
+	case "IPU-PGC":
+		s, err = NewIPUPGC(&cfg, &em, DefaultPGCConfig())
 	default:
 		tb.Fatalf("unknown scheme %q", name)
 	}

@@ -95,12 +95,15 @@ type Device struct {
 
 // perform schedules one flash operation, routing it to the background
 // track during garbage collection so GC work drains in idle gaps instead
-// of stalling host requests (until the per-chip backlog cap).
+// of stalling host requests (until the per-chip backlog cap). The cell
+// mode comes from the block's current state, not the ID partition, so
+// operations on in-place switched blocks get MLC timing.
 func (d *Device) perform(now int64, blockID int, kind sim.OpKind, subpages int, extra time.Duration) int64 {
+	mode := d.Arr.Block(blockID).Mode
 	if d.gcBackground {
-		return d.Eng.PerformBackground(now, blockID, kind, subpages)
+		return d.Eng.PerformBackgroundMode(now, blockID, kind, mode, subpages)
 	}
-	return d.Eng.Perform(now, blockID, kind, subpages, extra)
+	return d.Eng.PerformMode(now, blockID, kind, mode, subpages, extra)
 }
 
 // NewDevice builds a fresh device. The error model must validate.
@@ -281,6 +284,8 @@ func (d *Device) AttachChecker(level check.Level) {
 // checker's shadow store and runs the test fault-injection hook. Schemes
 // call it once per Write request.
 func (d *Device) NoteHostWrite(now int64, offset int64, size int) {
+	sub := int64(d.Cfg.SubpageSizeBytes)
+	d.Met.HostSubpagesWritten += (offset+int64(size)-1)/sub - offset/sub + 1
 	if d.Check != nil {
 		d.Check.NoteWrite(now, d.LSNRange(offset, size))
 	}
@@ -319,6 +324,10 @@ func (d *Device) SLCFreePages() int { return d.slcFreePages }
 
 // SLCValidSubpages returns the valid subpages currently resident in SLC.
 func (d *Device) SLCValidSubpages() int64 { return d.slcValidSub }
+
+// SLCTotalPages returns the page capacity of the SLC cache — SLC-mode
+// blocks only, so in-place switched blocks do not count.
+func (d *Device) SLCTotalPages() int { return d.slcTotalPages }
 
 // ---------------------------------------------------------------------------
 // Logical address helpers
@@ -872,7 +881,7 @@ func (d *Device) ReadReq(now int64, offset int64, size int) int64 {
 		}
 		d.Met.ReadRetries += int64(retries)
 		extra += time.Duration(retries) * d.cellReadTime(b.Mode)
-		if e := d.Eng.Perform(now, g.pa.Block(), sim.OpRead, g.n, extra); e > end {
+		if e := d.Eng.PerformMode(now, g.pa.Block(), sim.OpRead, b.Mode, g.n, extra); e > end {
 			end = e
 		}
 	}

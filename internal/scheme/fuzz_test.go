@@ -18,6 +18,8 @@ func FuzzReplay(f *testing.F) {
 	f.Add([]byte{1, 0, 0x00, 0x00, 0x10, 0x07, 0x07, 0x00, 0x10, 0x00})
 	f.Add([]byte{2, 0, 0x00, 0x00, 0x00, 0x03, 0x00, 0x00, 0x00, 0x03, 0x07, 0x00, 0x00, 0x01})
 	f.Add([]byte{2, 1, 0x01, 0x00, 0x20, 0x03, 0x04, 0x00, 0x20, 0x00, 0x01, 0x00, 0x20, 0x03})
+	f.Add([]byte{3, 1, 0x00, 0x00, 0x00, 0x03, 0x04, 0x00, 0x01, 0x02, 0x07, 0x00, 0x00, 0x01})
+	f.Add([]byte{4, 0, 0x00, 0x00, 0x10, 0x07, 0x01, 0x00, 0x10, 0x03, 0x04, 0x00, 0x10, 0x00})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) < 2 {
 			return

@@ -265,53 +265,63 @@ func MoveFlushAll(d *Device, now int64, victim int) {
 func MoveIPU(d *Device, now int64, victim int) {
 	b := d.Arr.Block(victim)
 	level := b.Level
-	slots := d.Cfg.SlotsPerPage()
 	for p := range b.Pages {
-		pg := &b.Pages[p]
-		fr := &d.pageFrames
-		nf := 0
-		valid := 0
-		for s := range pg.Slots {
-			if pg.Slots[s].State != flash.SubValid {
-				continue
-			}
-			valid++
-			l := pg.Slots[s].LSN
-			f := l.Frame(slots)
-			gi := -1
-			for i := 0; i < nf; i++ {
-				if fr[i].frame == f {
-					gi = i
-					break
-				}
-			}
-			if gi < 0 {
-				fr[nf] = frameGroup{frame: f}
-				gi = nf
-				nf++
-			}
-			fr[gi].lsns[fr[gi].n] = l
-			fr[gi].n++
-		}
-		if valid == 0 {
+		moveIPUPage(d, now, victim, level, p)
+	}
+}
+
+// moveIPUPage relocates one victim page's valid data under the Fig. 4
+// degraded-movement rule and returns the number of subpages moved. It is
+// the per-page unit of MoveIPU, shared with the preemptive incremental
+// collector, which processes a bounded number of pages per host request.
+func moveIPUPage(d *Device, now int64, victim int, level flash.BlockLevel, p int) int {
+	b := d.Arr.Block(victim)
+	slots := d.Cfg.SlotsPerPage()
+	pg := &b.Pages[p]
+	fr := &d.pageFrames
+	nf := 0
+	valid := 0
+	for s := range pg.Slots {
+		if pg.Slots[s].State != flash.SubValid {
 			continue
 		}
-		d.perform(now, victim, sim.OpRead, valid, 0)
-		d.Met.GCMovedSubpages += int64(valid)
-		dest := level
-		if pg.ProgramCount <= 1 {
-			dest-- // never updated here: degrade
-		}
+		valid++
+		l := pg.Slots[s].LSN
+		f := l.Frame(slots)
+		gi := -1
 		for i := 0; i < nf; i++ {
-			lsns := fr[i].lsns[:fr[i].n]
-			if dest <= flash.LevelHighDensity {
-				d.WriteFrameMLC(now, lsns)
-				continue
+			if fr[i].frame == f {
+				gi = i
+				break
 			}
-			if _, ok := d.WriteChunkSLC(now, dest, lsns, false); !ok {
-				// Cache exhausted mid-GC: evict to MLC rather than stall.
-				d.WriteFrameMLC(now, lsns)
-			}
+		}
+		if gi < 0 {
+			fr[nf] = frameGroup{frame: f}
+			gi = nf
+			nf++
+		}
+		fr[gi].lsns[fr[gi].n] = l
+		fr[gi].n++
+	}
+	if valid == 0 {
+		return 0
+	}
+	d.perform(now, victim, sim.OpRead, valid, 0)
+	d.Met.GCMovedSubpages += int64(valid)
+	dest := level
+	if pg.ProgramCount <= 1 {
+		dest-- // never updated here: degrade
+	}
+	for i := 0; i < nf; i++ {
+		lsns := fr[i].lsns[:fr[i].n]
+		if dest <= flash.LevelHighDensity {
+			d.WriteFrameMLC(now, lsns)
+			continue
+		}
+		if _, ok := d.WriteChunkSLC(now, dest, lsns, false); !ok {
+			// Cache exhausted mid-GC: evict to MLC rather than stall.
+			d.WriteFrameMLC(now, lsns)
 		}
 	}
+	return valid
 }

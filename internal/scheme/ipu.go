@@ -188,11 +188,11 @@ func (u *IPU) Device() *Device { return u.dev }
 // Metrics implements Scheme.
 func (u *IPU) Metrics() *Metrics { return u.dev.Met }
 
-// classify inspects the current mapping of a chunk. It returns the page
-// holding the previous version when every subpage of the chunk maps to the
-// same physical page (a clean update), and whether any mapping exists.
-func (u *IPU) classify(lsns []flash.LSN) (oldPage flash.PPA, samePage bool) {
-	d := u.dev
+// classifyChunk inspects the current mapping of a chunk. It returns the
+// page holding the previous version when every subpage of the chunk maps
+// to the same physical page (a clean update), and whether any mapping
+// exists. Shared by every intra-page-updating scheme (IPU, IPS).
+func classifyChunk(d *Device, lsns []flash.LSN) (oldPage flash.PPA, samePage bool) {
 	first := d.Map.Get(lsns[0])
 	if !first.Mapped() {
 		return flash.UnmappedPPA, false
@@ -209,11 +209,10 @@ func (u *IPU) classify(lsns []flash.LSN) (oldPage flash.PPA, samePage bool) {
 
 // intraPageRoom returns the first n free slots of the old page if it can
 // absorb an in-place update of n subpages: enough free slots, program
-// budget left, and the page must be SLC-mode (MLC pages cannot be
-// reprogrammed). A page has at most 8 slots, so the indices come back in
-// a fixed-size array.
-func (u *IPU) intraPageRoom(oldPage flash.PPA, n int) (free [8]int, ok bool) {
-	d := u.dev
+// budget left, and the page must be SLC-mode (MLC pages — including
+// in-place switched blocks — cannot be reprogrammed). A page has at most
+// 8 slots, so the indices come back in a fixed-size array.
+func intraPageRoom(d *Device, oldPage flash.PPA, n int) (free [8]int, ok bool) {
 	b := d.Arr.Block(oldPage.Block())
 	if b.Mode != flash.ModeSLC {
 		return free, false
@@ -237,6 +236,18 @@ func (u *IPU) intraPageRoom(oldPage flash.PPA, n int) (free [8]int, ok bool) {
 
 // Write implements Scheme, following Algorithm 1.
 func (u *IPU) Write(now int64, offset int64, size int) int64 {
+	end := u.placeChunks(now, offset, size)
+	u.dev.MaybeGCSLC(now, u.victimFn, MoveIPU)
+	u.dev.NoteHostWrite(now, offset, size)
+	u.dev.RecordWrite(now, end)
+	return end
+}
+
+// placeChunks places every frame-aligned chunk of one host write and
+// returns the latest completion time. Split out of Write so IPU-PGC can
+// insert its preemptive GC step between placement and the emergency
+// collector without duplicating the placement policy.
+func (u *IPU) placeChunks(now int64, offset int64, size int) int64 {
 	d := u.dev
 	end := now
 	for _, chunk := range d.Chunks(offset, size) {
@@ -245,20 +256,17 @@ func (u *IPU) Write(now int64, offset int64, size int) int64 {
 			end = e
 		}
 	}
-	d.MaybeGCSLC(now, u.victimFn, MoveIPU)
-	d.NoteHostWrite(now, offset, size)
-	d.RecordWrite(now, end)
 	return end
 }
 
 // writeChunk places one frame-aligned chunk.
 func (u *IPU) writeChunk(now int64, chunk []flash.LSN) int64 {
 	d := u.dev
-	oldPage, samePage := u.classify(chunk)
+	oldPage, samePage := classifyChunk(d, chunk)
 	if samePage && d.Arr.Block(oldPage.Block()).Mode == flash.ModeSLC {
 		// Update of cache-resident data: the paper's hot path.
 		if !u.v.DisableIntraPage {
-			if free, ok := u.intraPageRoom(oldPage, len(chunk)); ok {
+			if free, ok := intraPageRoom(d, oldPage, len(chunk)); ok {
 				// Intra-page update: invalidate the old versions first so the
 				// partial program's in-page disturb hits only obsolete data.
 				for _, l := range chunk {

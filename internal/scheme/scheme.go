@@ -97,6 +97,51 @@ type Metrics struct {
 
 	// HostTrims counts host discard commands serviced by Device.Trim.
 	HostTrims int64
+
+	// HostSubpagesWritten counts logical subpages the host wrote — the
+	// write-amplification denominator (GC-moved subpages are the extra
+	// physical traffic on top of it).
+	HostSubpagesWritten int64
+
+	// In-place Switch (IPS) counters.
+
+	// InPlaceSwitches counts SLC cache blocks reprogrammed into MLC mode
+	// in place instead of having their valid data migrated.
+	InPlaceSwitches int64
+	// SwitchedSubpages counts valid subpages carried through an in-place
+	// switch — data that would have been GC movement traffic under a
+	// migration-based scheme.
+	SwitchedSubpages int64
+	// SwitchBackReclaims counts switched blocks whose residual valid data
+	// was migrated out so the block could be erased and returned to the
+	// SLC cache.
+	SwitchBackReclaims int64
+
+	// PreemptiveGCs counts SLC victims fully reclaimed by the preemptive
+	// incremental collector (IPU-PGC) — cleaned in bounded steps
+	// interleaved with host writes rather than in one stop-the-world
+	// trigger.
+	PreemptiveGCs int64
+}
+
+// WriteAmplification returns physical subpage writes (host + GC movement)
+// over host subpage writes. Subpages carried through an in-place switch
+// are not rewritten, so they do not amplify.
+func (m *Metrics) WriteAmplification() float64 {
+	if m.HostSubpagesWritten == 0 {
+		return 0
+	}
+	return 1 + float64(m.GCMovedSubpages)/float64(m.HostSubpagesWritten)
+}
+
+// ReadHitRatio returns the fraction of host subpage reads served from the
+// SLC cache.
+func (m *Metrics) ReadHitRatio() float64 {
+	total := m.SubpageReadsSLC + m.SubpageReadsMLC
+	if total == 0 {
+		return 0
+	}
+	return float64(m.SubpageReadsSLC) / float64(total)
 }
 
 // GCs returns the total garbage collections so far (SLC + MLC): the

@@ -33,6 +33,10 @@ func newScheme(t *testing.T, name string, cfg flash.Config) Scheme {
 		s, err = NewMGA(&cfg, &em)
 	case "IPU":
 		s, err = NewIPU(&cfg, &em)
+	case "IPS":
+		s, err = NewIPS(&cfg, &em)
+	case "IPU-PGC":
+		s, err = NewIPUPGC(&cfg, &em, DefaultPGCConfig())
 	default:
 		t.Fatalf("unknown scheme %s", name)
 	}
@@ -42,7 +46,7 @@ func newScheme(t *testing.T, name string, cfg flash.Config) Scheme {
 	return s
 }
 
-var schemeNames = []string{"Baseline", "MGA", "IPU"}
+var schemeNames = []string{"Baseline", "MGA", "IPU", "IPS", "IPU-PGC"}
 
 // checkConsistency verifies the fundamental FTL invariants: the flash
 // array's cached counters are right, every mapped LSN points at a valid

@@ -141,10 +141,18 @@ func (e *Engine) cellTime(kind OpKind, mode flash.Mode) time.Duration {
 // Perform returns the operation completion time. The chip is busy for the
 // cell time plus the transfer, the channel for the transfer only.
 func (e *Engine) Perform(arrival int64, blockID int, kind OpKind, subpages int, extra time.Duration) int64 {
+	return e.PerformMode(arrival, blockID, kind, e.modeOf(blockID), subpages, extra)
+}
+
+// PerformMode is Perform with the cell mode supplied by the caller instead
+// of derived from the block-ID partition. In-place switched blocks operate
+// in MLC mode while occupying SLC-home IDs, so schemes that switch blocks
+// must pass the block's actual mode.
+func (e *Engine) PerformMode(arrival int64, blockID int, kind OpKind, mode flash.Mode, subpages int, extra time.Duration) int64 {
 	chip := e.cfg.UnitOf(blockID)
 	ch := e.cfg.ChannelOfUnit(chip)
 	xfer := int64(e.cfg.Timing.TransferPerSubpage) * int64(subpages)
-	cell := int64(e.cellTime(kind, e.modeOf(blockID)))
+	cell := int64(e.cellTime(kind, mode))
 
 	// Drain background GC work into the idle gap ahead of this host
 	// operation; beyond the cap the remainder stalls the host.
@@ -189,9 +197,15 @@ func (e *Engine) Perform(arrival int64, blockID int, kind OpKind, subpages int, 
 // (using program/erase suspension). The result is the enqueue time — GC
 // data movement is bookkept immediately; only the time is deferred.
 func (e *Engine) PerformBackground(arrival int64, blockID int, kind OpKind, subpages int) int64 {
+	return e.PerformBackgroundMode(arrival, blockID, kind, e.modeOf(blockID), subpages)
+}
+
+// PerformBackgroundMode is PerformBackground with an explicit cell mode,
+// for operations on in-place switched blocks.
+func (e *Engine) PerformBackgroundMode(arrival int64, blockID int, kind OpKind, mode flash.Mode, subpages int) int64 {
 	chip := e.cfg.UnitOf(blockID)
 	xfer := int64(e.cfg.Timing.TransferPerSubpage) * int64(subpages)
-	busy := int64(e.cellTime(kind, e.modeOf(blockID))) + xfer
+	busy := int64(e.cellTime(kind, mode)) + xfer
 	e.gcBacklog[chip] += busy
 	e.Stats.Count[kind]++
 	e.Stats.BusyTime[kind] += busy
