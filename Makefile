@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race serve serve-test serve-cluster-test bench bench-json bench-baseline bench-check check-schemes experiments ablation sensitivity fuzz fuzz-parse fuzz-replay golden clean
+.PHONY: all build test vet race serve serve-test serve-cluster-test bench bench-json bench-baseline bench-check check-schemes check-parallel experiments ablation sensitivity fuzz fuzz-parse fuzz-replay golden clean
 
 all: build test
 
@@ -53,6 +53,13 @@ golden:
 check-schemes:
 	$(GO) test -count 1 ./internal/scheme
 	$(GO) test -count 1 -run 'TestDifferential|TestRunDifferential|TestGolden|TestRegistry|TestSchemeNames' ./internal/core
+
+# The parallel-replay acceptance gate: the commit-pipeline units and the
+# parallel-vs-serial bit-identity differential — every scheme and trace at
+# Parallelism 1 vs N compared with reflect.DeepEqual on full results —
+# plus the cancellation goroutine-leak check, all under the race detector.
+check-parallel:
+	$(GO) test -race -count 1 -run 'TestPipeline|TestParallel' ./internal/sim ./internal/core
 
 # Regenerate every table and figure of the paper (plus the P/E sweep).
 experiments:

@@ -11,6 +11,7 @@ package ipusim_test
 
 import (
 	"io"
+	"runtime"
 	"testing"
 	"time"
 
@@ -327,4 +328,89 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		reqs += tr.Len()
 	}
 	b.ReportMetric(float64(reqs)/time.Since(start).Seconds(), "requests/s")
+}
+
+// BenchmarkParallelReplay measures the plane-pipeline replay path: the
+// same single-trace replay shape as BenchmarkSimulatorThroughput but on a
+// read-heavy trace with the read-path evaluation spread over GOMAXPROCS
+// workers. Results are bit-identical to serial (asserted by
+// TestParallelMatchesSerial); this benchmark tracks the wall time the
+// pipeline buys. One untimed warm-up iteration seeds the snapshot free
+// pool, so every timed New restores a recycled device in place — without
+// it, the first iteration's template clone is amortised over b.N and the
+// reported B/op and allocs/op would vary with -benchtime.
+func BenchmarkParallelReplay(b *testing.B) {
+	tr, err := trace.Generate(trace.Profiles["lun2"], benchSeed, benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Flash = *benchFlash()
+	cfg.Parallelism = runtime.GOMAXPROCS(0)
+	{
+		sim, err := core.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.Run(tr); err != nil {
+			b.Fatal(err)
+		}
+		sim.Release()
+	}
+	b.ResetTimer()
+	var reqs int
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		sim, err := core.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.Run(tr); err != nil {
+			b.Fatal(err)
+		}
+		sim.Release()
+		reqs += tr.Len()
+	}
+	b.ReportMetric(float64(reqs)/time.Since(start).Seconds(), "requests/s")
+}
+
+// BenchmarkFullGeometryReplay replays a trace against the paper's full
+// 65536-block Table 2 geometry with the parallel read pipeline on — the
+// configuration EXPERIMENTS.md quotes replay times for. Each iteration
+// replays against a freshly built device: reusing one device has no
+// steady state (erase counts only grow, so BER and retry work climb
+// forever), and the snapshot cache is bypassed because pinning a
+// full-geometry template in the LRU would hold gigabytes for the rest of
+// the process. Construction is untimed; the metric is replay alone. The
+// builds churn hundreds of MB each, so the benchmark runs last in this
+// file and forces a collection on exit to keep the heap target it
+// inflated from bleeding into later benchmarks.
+func BenchmarkFullGeometryReplay(b *testing.B) {
+	tr, err := trace.Generate(trace.Profiles["ts0"], benchSeed, 0.01)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Flash = flash.PaperConfig()
+	cfg.Parallelism = runtime.GOMAXPROCS(0)
+	b.ResetTimer()
+	var reqs int
+	var elapsed time.Duration
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		sim, err := core.NewFresh(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		start := time.Now()
+		if _, err := sim.Run(tr); err != nil {
+			b.Fatal(err)
+		}
+		elapsed += time.Since(start)
+		reqs += tr.Len()
+	}
+	b.StopTimer()
+	runtime.GC()
+	b.ReportMetric(float64(reqs)/elapsed.Seconds(), "requests/s")
 }

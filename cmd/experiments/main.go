@@ -8,8 +8,8 @@
 // Usage:
 //
 //	experiments [-scale 0.05] [-seed 42] [-traces ts0,ads] [-schemes IPU]
-//	            [-pesweep] [-ablate] [-full] [-workers N] [-progress]
-//	            [-cpuprofile cpu.out] [-memprofile mem.out]
+//	            [-pesweep] [-ablate] [-full] [-workers N] [-parallel N]
+//	            [-progress] [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // -pesweep additionally runs the Fig. 13/14 endurance sweep (4 P/E
 // levels). -ablate runs the IPU design-choice ablation (ISR victim policy,
@@ -53,6 +53,7 @@ func main() {
 		csvdir   = flag.String("csvdir", "", "also write every table as CSV into this directory")
 		full     = flag.Bool("full", false, "use the paper's full Table 2 geometry")
 		workers  = flag.Int("workers", 0, "parallel simulations (default GOMAXPROCS)")
+		parallel = flag.Int("parallel", 0, "read-path evaluation workers per simulation (0/1 = serial; metrics are identical either way)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		progress = flag.Bool("progress", false, "report aggregated sweep progress on stderr")
@@ -79,6 +80,7 @@ func main() {
 		Scale: *scale, Seed: *seed, Traces: *traces, Schemes: *schemes,
 		PESweep: *pesweep, Ablate: *ablate, Sensitivity: *sens,
 		CSVDir: *csvdir, Replicate: *repl, Full: *full, Workers: *workers,
+		Parallel: *parallel,
 	}
 	if *progress {
 		o.Progress = os.Stderr
@@ -132,6 +134,7 @@ type runOpts struct {
 	Replicate   int
 	Full        bool
 	Workers     int
+	Parallel    int
 	// Progress, when non-nil, receives aggregated sweep progress lines.
 	Progress io.Writer
 }
@@ -189,12 +192,13 @@ func run(ctx context.Context, out io.Writer, o runOpts) error {
 
 	// Main matrix.
 	spec := core.MatrixSpec{
-		Traces:  splitList(o.Traces),
-		Schemes: splitList(o.Schemes),
-		Scale:   scale,
-		Seed:    seed,
-		Flash:   &fc,
-		Workers: o.Workers,
+		Traces:      splitList(o.Traces),
+		Schemes:     splitList(o.Schemes),
+		Scale:       scale,
+		Seed:        seed,
+		Flash:       &fc,
+		Workers:     o.Workers,
+		Parallelism: o.Parallel,
 	}
 	if o.Progress != nil {
 		spec.OnProgress = core.ProgressPrinter(o.Progress, 0)

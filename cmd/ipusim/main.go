@@ -5,13 +5,16 @@
 //
 //	ipusim [-scheme IPU] [-trace ts0 | -file trace.csv] [-scale 0.05]
 //	       [-seed 42] [-pe 4000] [-full] [-printconfig] [-check full]
-//	       [-progress]
+//	       [-progress] [-parallel 8]
 //
 // -trace selects one of the six synthetic paper workloads; -file replays a
-// real trace in MSR-Cambridge CSV format instead. -progress reports replay
-// progress on stderr while the run is in flight. Interrupting the process
-// (Ctrl-C / SIGTERM) cancels the replay cleanly at the next request
-// boundary.
+// real trace instead — MSR-Cambridge CSV or a compiled binary .itc file
+// (see tracegen -compile), detected by content. -parallel evaluates
+// per-subpage read-error arithmetic on that many workers with results
+// committed in simulated-time order, so metrics are bit-identical to a
+// serial run. -progress reports replay progress on stderr while the run is
+// in flight. Interrupting the process (Ctrl-C / SIGTERM) cancels the
+// replay cleanly at the next request boundary.
 package main
 
 import (
@@ -45,6 +48,7 @@ type options struct {
 	Seed        int64
 	PE          int
 	QD          int
+	Parallel    int
 	Full        bool
 	PrintConfig bool
 	Dist        bool
@@ -67,6 +71,7 @@ func main() {
 	flag.BoolVar(&o.Dist, "dist", false, "also print the response-time distribution (Fig 5)")
 	flag.BoolVar(&o.JSON, "json", false, "emit the result as JSON instead of a table")
 	flag.IntVar(&o.QD, "qd", 0, "replay closed-loop at this queue depth (0 = open-loop trace replay)")
+	flag.IntVar(&o.Parallel, "parallel", 0, "read-path evaluation workers (0/1 = serial; metrics are identical either way)")
 	flag.StringVar(&o.ConfigPath, "config", "", "load device/error configuration from a JSON file")
 	flag.StringVar(&o.Check, "check", "", "invariant checking: off, shadow or full (slow; use for debugging, not benchmarks)")
 	progress := flag.Bool("progress", false, "report replay progress on stderr")
@@ -113,6 +118,9 @@ func run(ctx context.Context, out io.Writer, o options) error {
 		o.Scheme = "IPU"
 	}
 	cfg.Scheme = o.Scheme
+	if o.Parallel > 0 {
+		cfg.Parallelism = o.Parallel
+	}
 
 	if o.PrintConfig {
 		return core.Table2(&cfg.Flash).Render(out)
@@ -120,12 +128,8 @@ func run(ctx context.Context, out io.Writer, o options) error {
 
 	var tr *trace.Trace
 	if o.File != "" {
-		f, err := os.Open(o.File)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		tr, err = trace.ParseMSR(o.File, f)
+		var err error
+		tr, err = trace.Open(o.File)
 		if err != nil {
 			return err
 		}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -71,6 +72,85 @@ func TestRunTraceFile(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "MGA on") {
 		t.Error("file replay report missing")
+	}
+}
+
+// TestRunITCFile replays a compiled .itc trace through -file: trace.Open
+// sniffs the binary format, and the result matches a CSV replay of the
+// same records exactly.
+func TestRunITCFile(t *testing.T) {
+	tr, err := trace.Generate(trace.Profiles["lun2"], 2, 0.002)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "lun2.csv")
+	f, err := os.Create(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteMSR(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	itcPath := filepath.Join(dir, "lun2.itc")
+	g, err := os.Create(itcPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteITC(g, tr); err != nil {
+		t.Fatal(err)
+	}
+	g.Close()
+
+	var fromCSV, fromITC strings.Builder
+	if err := run(bg(), &fromCSV, options{Scheme: "IPU", File: csvPath, JSON: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(bg(), &fromITC, options{Scheme: "IPU", File: itcPath, JSON: true}); err != nil {
+		t.Fatal(err)
+	}
+	// Results carry the trace name, which differs by path; compare the
+	// metric fields.
+	var a, b map[string]any
+	if err := json.Unmarshal([]byte(fromCSV.String()), &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(fromITC.String()), &b); err != nil {
+		t.Fatal(err)
+	}
+	delete(a, "Trace")
+	delete(b, "Trace")
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("itc replay differs from csv replay:\n%v\nvs\n%v", b, a)
+	}
+}
+
+// TestRunParallelFlag checks the -parallel path produces the same report
+// as a serial run.
+func TestRunParallelFlag(t *testing.T) {
+	var serial, par strings.Builder
+	o := options{Scheme: "IPU", Trace: "ads", Scale: 0.002, Seed: 1}
+	if err := run(bg(), &serial, o); err != nil {
+		t.Fatal(err)
+	}
+	o.Parallel = 4
+	if err := run(bg(), &par, o); err != nil {
+		t.Fatal(err)
+	}
+	// Reports include wall time, which differs; compare every other line.
+	sl := strings.Split(serial.String(), "\n")
+	pl := strings.Split(par.String(), "\n")
+	if len(sl) != len(pl) {
+		t.Fatalf("report shapes differ: %d vs %d lines", len(sl), len(pl))
+	}
+	for i := range sl {
+		if strings.Contains(sl[i], "wall time") {
+			continue
+		}
+		if sl[i] != pl[i] {
+			t.Errorf("line %d differs:\nserial: %s\nparallel: %s", i, sl[i], pl[i])
+		}
 	}
 }
 

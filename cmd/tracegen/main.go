@@ -3,9 +3,14 @@
 // It also prints the Table 1/Table 3 statistics of the generated trace to
 // stderr so the output can be validated against the paper.
 //
+// With -compile it instead converts an existing MSR-Cambridge CSV trace
+// into the binary columnar .itc format that trace.Open memory-maps, so
+// large real traces pay their CSV parse once instead of on every replay.
+//
 // Usage:
 //
 //	tracegen -trace wdev0 [-scale 0.05] [-seed 42] [-o wdev0.csv] [-stats]
+//	tracegen -compile prxy0.csv [-o prxy0.itc]
 package main
 
 import (
@@ -13,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"ipusim/internal/metrics"
 	"ipusim/internal/trace"
@@ -20,17 +26,77 @@ import (
 
 func main() {
 	var (
-		name  = flag.String("trace", "ts0", "trace profile to synthesise")
-		scale = flag.Float64("scale", 0.05, "request-count scale in (0,1]")
-		seed  = flag.Int64("seed", 42, "generator seed")
-		out   = flag.String("o", "", "output file (default stdout)")
-		stats = flag.Bool("stats", true, "print trace statistics to stderr")
+		name    = flag.String("trace", "ts0", "trace profile to synthesise")
+		scale   = flag.Float64("scale", 0.05, "request-count scale in (0,1]")
+		seed    = flag.Int64("seed", 42, "generator seed")
+		out     = flag.String("o", "", "output file (default stdout; default <input>.itc for -compile)")
+		stats   = flag.Bool("stats", true, "print trace statistics to stderr")
+		compile = flag.String("compile", "", "compile an MSR CSV trace file to binary .itc format instead of synthesising")
 	)
 	flag.Parse()
-	if err := run(os.Stderr, *name, *scale, *seed, *out, *stats); err != nil {
+	var err error
+	if *compile != "" {
+		err = runCompile(os.Stderr, *compile, *out, *stats)
+	} else {
+		err = run(os.Stderr, *name, *scale, *seed, *out, *stats)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)
 	}
+}
+
+// runCompile converts one MSR CSV trace into .itc. The output defaults to
+// the input path with its extension replaced by .itc.
+func runCompile(statsOut io.Writer, in, out string, stats bool) error {
+	if out == "" {
+		out = strings.TrimSuffix(in, ".csv") + ".itc"
+	}
+	if out == in {
+		return fmt.Errorf("refusing to overwrite input %s (pass -o)", in)
+	}
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	tr, err := trace.ParseMSR(in, f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	// Write-then-rename so a crashed compile never leaves a torn .itc in
+	// place (the decoder would reject it anyway, by checksum).
+	tmp := out + ".tmp"
+	g, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteITC(g, tr); err != nil {
+		g.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := g.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, out); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if stats {
+		st, err := os.Stat(out)
+		if err != nil {
+			return err
+		}
+		srcSt, err := os.Stat(in)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(statsOut, "compiled %s: %d records, %d -> %d bytes (%.1fx)\n",
+			out, tr.Len(), srcSt.Size(), st.Size(), float64(srcSt.Size())/float64(st.Size()))
+	}
+	return nil
 }
 
 func run(statsOut io.Writer, name string, scale float64, seed int64, out string, stats bool) error {
@@ -51,7 +117,12 @@ func run(statsOut io.Writer, name string, scale float64, seed int64, out string,
 		defer f.Close()
 		w = f
 	}
-	if err := trace.WriteMSR(w, tr); err != nil {
+	// An .itc output path writes the binary columnar format directly.
+	if strings.HasSuffix(out, ".itc") {
+		if err := trace.WriteITC(w, tr); err != nil {
+			return err
+		}
+	} else if err := trace.WriteMSR(w, tr); err != nil {
 		return err
 	}
 	if stats {

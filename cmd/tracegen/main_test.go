@@ -62,3 +62,86 @@ func TestRunBadOutputPath(t *testing.T) {
 		t.Fatal("bad output path accepted")
 	}
 }
+
+// TestCompileRoundTrip is the -compile subcommand round-trip: a CSV trace
+// compiled to .itc must decode to exactly the records ParseMSR produces
+// from the same CSV, op for op.
+func TestCompileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "wdev0.csv")
+	var stats strings.Builder
+	if err := run(&stats, "wdev0", 0.005, 3, csv, false); err != nil {
+		t.Fatal(err)
+	}
+
+	itc := filepath.Join(dir, "wdev0.itc")
+	stats.Reset()
+	if err := runCompile(&stats, csv, itc, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stats.String(), "compiled") {
+		t.Errorf("compile stats missing summary: %q", stats.String())
+	}
+
+	f, err := os.Open(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	want, err := trace.ParseMSR(csv, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := trace.OpenITC(itc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != want.Len() {
+		t.Fatalf("compiled trace has %d records, want %d", got.Len(), want.Len())
+	}
+	if got.MaxOffset() != want.MaxOffset() {
+		t.Fatalf("MaxOffset %d, want %d", got.MaxOffset(), want.MaxOffset())
+	}
+	for i := 0; i < want.Len(); i++ {
+		if got.At(i) != want.At(i) {
+			t.Fatalf("record %d: got %+v, want %+v", i, got.At(i), want.At(i))
+		}
+	}
+
+	// Default output path: <input minus .csv>.itc, never the input itself.
+	if err := runCompile(&stats, csv, "", false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "wdev0.itc")); err != nil {
+		t.Fatal(err)
+	}
+	if err := runCompile(&stats, itc, itc, false); err == nil {
+		t.Fatal("compile onto its own input accepted")
+	}
+}
+
+// TestCompileMissingInput checks the error path.
+func TestCompileMissingInput(t *testing.T) {
+	var stats strings.Builder
+	if err := runCompile(&stats, "/nonexistent/x.csv", "", false); err == nil {
+		t.Fatal("missing input accepted")
+	}
+}
+
+// TestRunITCOutput checks that synthesising straight to an .itc path
+// writes the binary format.
+func TestRunITCOutput(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "ts0.itc")
+	var stats strings.Builder
+	if err := run(&stats, "ts0", 0.002, 1, out, false); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.OpenITC(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() < 100 {
+		t.Errorf("only %d records in compiled output", tr.Len())
+	}
+}

@@ -13,10 +13,14 @@ import (
 
 // ConfigSchemaVersion is the config file schema this build reads. Files
 // state it in a top-level "version" field; an absent field is read as
-// version 1 (the pre-versioning schema is identical), any other value is
-// rejected so a future-schema file fails loudly instead of being half
-// applied.
-const ConfigSchemaVersion = 1
+// version 1 (the pre-versioning schema is identical). Version 2 adds the
+// top-level "parallelism" knob; version-1 files remain readable. Any
+// other value is rejected so a future-schema file fails loudly instead of
+// being half applied.
+const ConfigSchemaVersion = 2
+
+// configMinSchemaVersion is the oldest schema this build still reads.
+const configMinSchemaVersion = 1
 
 // JSONDuration unmarshals either a Go duration string ("300us", "10ms") or
 // a plain number of nanoseconds, so config files stay human-readable.
@@ -56,6 +60,10 @@ type fileConfig struct {
 	// Check selects the invariant-checking level: "off", "shadow" or
 	// "full" (see internal/check). Absent means off.
 	Check string `json:"check,omitempty"`
+	// Parallelism is the intra-run read-pipeline worker count (schema
+	// version 2; see Config.Parallelism). Absent, 0 and 1 all mean a
+	// serial replay.
+	Parallelism *int `json:"parallelism,omitempty"`
 
 	Flash struct {
 		Channels               *int          `json:"channels,omitempty"`
@@ -127,12 +135,18 @@ func LoadConfig(r io.Reader) (Config, error) {
 		}
 		return cfg, fmt.Errorf("core: config: %w", err)
 	}
-	if fc.Version != nil && *fc.Version != ConfigSchemaVersion {
-		return cfg, fmt.Errorf("core: config: unsupported schema version %d (this build reads version %d)",
-			*fc.Version, ConfigSchemaVersion)
+	if fc.Version != nil && (*fc.Version < configMinSchemaVersion || *fc.Version > ConfigSchemaVersion) {
+		return cfg, fmt.Errorf("core: config: unsupported schema version %d (this build reads versions %d-%d)",
+			*fc.Version, configMinSchemaVersion, ConfigSchemaVersion)
 	}
 	if fc.Scheme != "" {
 		cfg.Scheme = fc.Scheme
+	}
+	if fc.Parallelism != nil {
+		if *fc.Parallelism < 0 {
+			return cfg, fmt.Errorf("core: config: parallelism %d must be non-negative", *fc.Parallelism)
+		}
+		cfg.Parallelism = *fc.Parallelism
 	}
 	lvl, err := check.ParseLevel(fc.Check)
 	if err != nil {

@@ -156,13 +156,25 @@ func TestLoadConfigSchemaVersion(t *testing.T) {
 	if _, err := LoadConfig(strings.NewReader(`{"scheme": "MGA"}`)); err != nil {
 		t.Errorf("unversioned config rejected: %v", err)
 	}
-	// Any other version is rejected, naming both versions.
-	_, err = LoadConfig(strings.NewReader(`{"version": 2}`))
+	// Version 2 (the current schema) is accepted and reads parallelism.
+	cfg, err = LoadConfig(strings.NewReader(`{"version": 2, "parallelism": 4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Parallelism != 4 {
+		t.Errorf("parallelism = %d, want 4", cfg.Parallelism)
+	}
+	// A future version is rejected, naming the supported range.
+	_, err = LoadConfig(strings.NewReader(`{"version": 3}`))
 	if err == nil {
 		t.Fatal("future schema version accepted")
 	}
-	if !strings.Contains(err.Error(), "version 2") || !strings.Contains(err.Error(), "version 1") {
-		t.Errorf("version error %q does not name both versions", err)
+	if !strings.Contains(err.Error(), "version 3") || !strings.Contains(err.Error(), "versions 1-2") {
+		t.Errorf("version error %q does not name the versions", err)
+	}
+	// Negative parallelism is rejected.
+	if _, err := LoadConfig(strings.NewReader(`{"version": 2, "parallelism": -1}`)); err == nil {
+		t.Fatal("negative parallelism accepted")
 	}
 }
 

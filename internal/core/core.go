@@ -37,6 +37,15 @@ type Config struct {
 	// verifies every host request; check.Full adds an O(device)
 	// structural sweep after every GC event. Keep it off for benchmarks.
 	Check check.Level
+	// Parallelism sets the intra-run read-pipeline worker count for
+	// open-loop replays: per-subpage ECC evaluation is dispatched to this
+	// many workers and committed back in simulated-time order, so results
+	// stay bit-identical to a serial run. 0 or 1 (the default) replays
+	// serially; the knob does not affect closed-loop replays, whose
+	// queue-depth gate needs each request's true completion time before
+	// the next issue. Parallelism never changes any metric — only wall
+	// time — so it is not part of the snapshot-cache or job-cache key.
+	Parallelism int
 }
 
 // DefaultConfig returns the scaled-down Table 2 geometry with the paper's
@@ -210,6 +219,13 @@ func (s *Simulator) RunContext(ctx context.Context, tr *trace.Trace) (*Result, e
 	}
 	done := ctx.Done()
 	n := tr.Len()
+	if s.cfg.Parallelism > 1 {
+		d := s.scheme.Device()
+		d.StartReadPipeline(s.cfg.Parallelism)
+		// The deferred stop makes cancellation leak-free: every worker is
+		// flushed and joined before RunContext returns, on every path.
+		defer d.StopReadPipeline()
+	}
 	var last int64
 	for i := 0; i < n; i++ {
 		if done != nil {
@@ -226,9 +242,17 @@ func (s *Simulator) RunContext(ctx context.Context, tr *trace.Trace) (*Result, e
 			last = s.scheme.Read(r.Time, r.Offset, r.Size)
 		}
 		if s.progress != nil && ((i+1)%s.progressEvery == 0 || i+1 == n) {
+			// Progress snapshots read the metrics, so in-flight reads must
+			// commit first; the flush keeps reported GC counts consistent
+			// with a serial replay's.
+			s.scheme.Device().FlushReads()
 			s.emitProgress(i+1, n, last)
 		}
 	}
+	// Commit every in-flight read before the final sweep and the result
+	// snapshot. (StopReadPipeline would also flush, but only after this
+	// function returns.)
+	s.scheme.Device().FlushReads()
 	if err := s.checkFinal(); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"ipusim/internal/trace"
+)
+
+// parallelDiffScale keeps the 5-scheme x 6-trace differential fast while
+// still replaying thousands of requests per cell (enough to exercise GC,
+// retries and every metric the Result reports).
+const parallelDiffScale = 0.01
+
+// TestParallelMatchesSerial is the parallel-replay differential tier: for
+// every registered scheme over every synthetic trace profile, a replay
+// with the read pipeline enabled must produce a Result deeply equal — bit
+// for bit, including the order-sensitive ReadBER float accumulation — to
+// the serial replay of the same trace.
+func TestParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential tier is not a -short test")
+	}
+	for _, sc := range SchemeNames {
+		for _, trName := range trace.ProfileNames() {
+			sc, trName := sc, trName
+			t.Run(sc+"/"+trName, func(t *testing.T) {
+				t.Parallel()
+				tr, err := cachedTrace(trName, 42, parallelDiffScale)
+				if err != nil {
+					t.Fatal(err)
+				}
+				run := func(parallelism int) *Result {
+					cfg := DefaultConfig()
+					cfg.Scheme = sc
+					cfg.Parallelism = parallelism
+					sim, err := New(cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					res, err := sim.Run(tr)
+					if err != nil {
+						t.Fatal(err)
+					}
+					sim.Release()
+					return res
+				}
+				serial := run(1)
+				parallel := run(4)
+				if !reflect.DeepEqual(serial, parallel) {
+					t.Errorf("parallel replay diverged from serial:\nserial:   %+v\nparallel: %+v", serial, parallel)
+				}
+			})
+		}
+	}
+}
+
+// TestParallelRepeatable replays one read-heavy trace several times at the
+// same parallelism and asserts every repetition is identical — worker
+// scheduling must never leak into the results.
+func TestParallelRepeatable(t *testing.T) {
+	tr, err := cachedTrace("ads", 42, parallelDiffScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first *Result
+	for i := 0; i < 3; i++ {
+		cfg := DefaultConfig()
+		cfg.Parallelism = 8
+		sim, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim.Release()
+		if first == nil {
+			first = res
+		} else if !reflect.DeepEqual(first, res) {
+			t.Fatalf("repetition %d diverged:\nfirst: %+v\ngot:   %+v", i, first, res)
+		}
+	}
+}
+
+// TestParallelMatrixMatchesSerial runs a small sweep with and without
+// intra-run parallelism and compares every cell.
+func TestParallelMatrixMatchesSerial(t *testing.T) {
+	spec := MatrixSpec{
+		Traces:  []string{"ts0", "ads"},
+		Schemes: []string{"Baseline", "IPU"},
+		Scale:   parallelDiffScale,
+	}
+	serial, err := RunMatrix(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Parallelism = 4
+	parallel, err := RunMatrix(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Error("matrix results with Parallelism=4 diverged from serial")
+	}
+}
+
+// TestParallelCancelNoLeak cancels a parallel replay mid-run and asserts
+// the pipeline's workers are flushed and joined — no goroutine leak, and
+// the device is consistent enough to rejoin the snapshot free pool.
+func TestParallelCancelNoLeak(t *testing.T) {
+	tr, err := cachedTrace("ts0", 42, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	for i := 0; i < 4; i++ {
+		cfg := DefaultConfig()
+		cfg.Parallelism = 4
+		sim, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		sim.OnProgress(256, func(p Progress) {
+			if p.Replayed >= 1024 {
+				cancel()
+			}
+		})
+		_, err = sim.RunContext(ctx, tr)
+		cancel()
+		if err != context.Canceled {
+			t.Fatalf("cancelled run returned %v, want context.Canceled", err)
+		}
+		sim.Release()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked after cancelled parallel runs: %d before, %d after",
+		before, runtime.NumGoroutine())
+}
+
+// TestParallelSoak is the race-detector soak of the plane pipeline: several
+// parallel replays run concurrently on separate devices, sharing only the
+// snapshot templates and memo-free immutable state. Run via
+// `make check-parallel` (go test -race).
+func TestParallelSoak(t *testing.T) {
+	traces := []string{"ts0", "ads", "lun2"}
+	errc := make(chan error, len(traces))
+	for _, name := range traces {
+		go func(name string) {
+			tr, err := cachedTrace(name, 42, parallelDiffScale)
+			if err != nil {
+				errc <- err
+				return
+			}
+			cfg := DefaultConfig()
+			cfg.Parallelism = 4
+			sim, err := New(cfg)
+			if err != nil {
+				errc <- err
+				return
+			}
+			_, err = sim.Run(tr)
+			sim.Release()
+			errc <- err
+		}(name)
+	}
+	for range traces {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

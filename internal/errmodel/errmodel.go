@@ -125,11 +125,19 @@ func (m *Model) RawBER(pe int, partial bool) float64 {
 // neighbouring-page disturb and in-place reprogram stress. With zero
 // stress counts the result is exactly the base rate.
 func (m *Model) EffectiveBER(pe int, sp *flash.Subpage) float64 {
-	base := m.RawBER(pe, sp.Partial)
+	return m.StressedBER(m.RawBER(pe, sp.Partial), sp.InPageDisturb, sp.NeighborDisturb, sp.ReprogramStress)
+}
+
+// StressedBER applies the disturb and reprogram stress terms to an already
+// computed base (Fig. 2) rate. It is the second half of EffectiveBER,
+// split out so callers that memoise RawBER — and the parallel read
+// pipeline, which snapshots the stress counters at dispatch — evaluate the
+// exact same expression and stay bit-identical with the direct path.
+func (m *Model) StressedBER(base float64, inPage, neighbor, reprogram uint16) float64 {
 	return base * (1 +
-		m.InPageAlpha*float64(sp.InPageDisturb) +
-		m.NeighborBeta*float64(sp.NeighborDisturb) +
-		m.ReprogramGamma*float64(sp.ReprogramStress))
+		m.InPageAlpha*float64(inPage) +
+		m.NeighborBeta*float64(neighbor) +
+		m.ReprogramGamma*float64(reprogram))
 }
 
 // ExpectedErrors converts a BER into the expected raw bit errors of one

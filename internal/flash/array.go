@@ -2,6 +2,7 @@ package flash
 
 import (
 	"fmt"
+	"math/bits"
 )
 
 // SlotWrite names one subpage slot to program and the logical data to place
@@ -53,6 +54,26 @@ type Array struct {
 	// the last erase. This is the candidate set GC victim selection
 	// iterates, replacing full scans over SLCBlockIDs.
 	slcUsed []uint64
+
+	// dirtyBlocks and dirtyPages track what has been mutated since the
+	// last Restore: dirtyBlocks is a bitset over block IDs whose Block
+	// struct changed, dirtyPages a bitset over flat page-store indices
+	// whose Page struct or subpages changed. Every mutator marks what it
+	// touches, so Restore from the same unmutated template only has to
+	// re-copy the dirty pieces instead of the whole device — a short
+	// replay's scattered invalidates touch a few pages in many blocks,
+	// and the full-store memmove dominated recycled-clone start-up cost.
+	dirtyBlocks []uint64
+	dirtyPages  []uint64
+	// gen increments on every mutation and every Restore, so (pointer,
+	// gen) uniquely identifies one content state of this array for as
+	// long as it lives — gen never repeats or rewinds.
+	gen uint64
+	// restoredFrom / restoredGen record the template (and its gen) this
+	// array was last restored from. A later Restore takes the dirty-only
+	// fast path only when both still match.
+	restoredFrom *Array
+	restoredGen  uint64
 }
 
 // NewArray builds the array described by cfg. cfg must validate.
@@ -64,7 +85,9 @@ func NewArray(cfg *Config) (*Array, error) {
 	slots := cfg.SlotsPerPage()
 	nSLC := cfg.SLCBlocks()
 	a.slcUsed = make([]uint64, (nSLC+63)/64)
+	a.dirtyBlocks = make([]uint64, (cfg.Blocks+63)/64)
 	totalPages := nSLC*cfg.SLCPagesPerBlock + (cfg.Blocks-nSLC)*cfg.MLCPagesPerBlock
+	a.dirtyPages = make([]uint64, (totalPages+63)/64)
 	a.pages = make([]Page, totalPages)
 	a.subs = make([]Subpage, totalPages*slots)
 	for i := range a.subs {
@@ -102,6 +125,47 @@ func (a *Array) bindSlots() {
 	}
 }
 
+// markDirty records that block id's struct diverged from whatever template
+// this array was last restored from. Every mutator calls it (every
+// mutation moves a per-block counter); Restore consumes and clears the
+// set. Slot- and page-level changes are tracked separately by
+// markPageDirty / markPageRangeDirty on the flat page index.
+func (a *Array) markDirty(id int) {
+	a.dirtyBlocks[id>>6] |= 1 << (id & 63)
+	a.gen++
+}
+
+// markPageDirty records that the page at flat index i (its Page struct or
+// any of its subpages) has been mutated.
+func (a *Array) markPageDirty(i int) {
+	a.dirtyPages[i>>6] |= 1 << (i & 63)
+}
+
+// markPageRangeDirty marks the n pages starting at flat index po dirty.
+func (a *Array) markPageRangeDirty(po, n int) {
+	for i := po; i < po+n; i++ {
+		a.dirtyPages[i>>6] |= 1 << (i & 63)
+	}
+}
+
+// MarkBlockDirty flags a whole block as externally mutated. Code that
+// writes a block's fields through the Block pointer instead of an Array
+// mutator must call it, or a later dirty-only Restore will miss the
+// change.
+func (a *Array) MarkBlockDirty(id int) {
+	a.markDirty(id)
+	a.markPageRangeDirty(a.pageOffset(id), len(a.blocks[id].Pages))
+}
+
+// pageOffset returns block id's first index in the flat page store. SLC
+// blocks occupy the low IDs, so the offset is a two-term product.
+func (a *Array) pageOffset(id int) int {
+	if nSLC := a.cfg.SLCBlocks(); id >= nSLC {
+		return nSLC*a.cfg.SLCPagesPerBlock + (id-nSLC)*a.cfg.MLCPagesPerBlock
+	}
+	return id * a.cfg.SLCPagesPerBlock
+}
+
 // Clone returns a deep copy of the array sharing only the immutable config
 // and block-ID index slices. The copy is two bulk memmoves of the flat
 // page/subpage stores plus header rebinding, independent of how much of
@@ -109,10 +173,12 @@ func (a *Array) bindSlots() {
 // layer.
 func (a *Array) Clone() *Array {
 	c := &Array{
-		blocks:  make([]Block, len(a.blocks)),
-		pages:   make([]Page, len(a.pages)),
-		subs:    make([]Subpage, len(a.subs)),
-		slcUsed: make([]uint64, len(a.slcUsed)),
+		blocks:      make([]Block, len(a.blocks)),
+		pages:       make([]Page, len(a.pages)),
+		subs:        make([]Subpage, len(a.subs)),
+		slcUsed:     make([]uint64, len(a.slcUsed)),
+		dirtyBlocks: make([]uint64, len(a.dirtyBlocks)),
+		dirtyPages:  make([]uint64, len(a.dirtyPages)),
 	}
 	c.Restore(a)
 	return c
@@ -121,14 +187,71 @@ func (a *Array) Clone() *Array {
 // Restore overwrites a with a deep copy of t, reusing a's backing stores
 // instead of allocating fresh ones — the recycled-clone start-up path. The
 // two arrays must come from the same geometry.
+//
+// When a was already restored from this exact template and t has not been
+// mutated since (checked by pointer and generation), only the blocks and
+// pages a dirtied in between are re-copied and rebound; everything else
+// is known to still equal t. A short replay touches a small fraction of
+// the device, so this turns the dominant full-store memmove into a few
+// per-block struct copies and per-page slot copies.
 func (a *Array) Restore(t *Array) {
 	blocks, pages, subs, used := a.blocks, a.pages, a.subs, a.slcUsed
-	copy(blocks, t.blocks)
-	copy(pages, t.pages)
-	copy(subs, t.subs)
+	dirtyB, dirtyP := a.dirtyBlocks, a.dirtyPages
+	gen := a.gen
+	fast := a.restoredFrom == t && a.restoredGen == t.gen
+	if fast {
+		slots := t.cfg.SlotsPerPage()
+		for w := range dirtyB {
+			word := dirtyB[w]
+			if word == 0 {
+				continue
+			}
+			dirtyB[w] = 0
+			for word != 0 {
+				id := w<<6 + bits.TrailingZeros64(word)
+				word &= word - 1
+				po := t.pageOffset(id)
+				n := len(t.blocks[id].Pages)
+				blocks[id] = t.blocks[id]
+				blocks[id].Pages = pages[po : po+n : po+n]
+			}
+		}
+		for w := range dirtyP {
+			word := dirtyP[w]
+			if word == 0 {
+				continue
+			}
+			dirtyP[w] = 0
+			for word != 0 {
+				i := w<<6 + bits.TrailingZeros64(word)
+				word &= word - 1
+				pages[i] = t.pages[i]
+				pages[i].Slots = subs[i*slots : (i+1)*slots : (i+1)*slots]
+				copy(subs[i*slots:(i+1)*slots], t.subs[i*slots:(i+1)*slots])
+			}
+		}
+	} else {
+		copy(blocks, t.blocks)
+		copy(pages, t.pages)
+		copy(subs, t.subs)
+		for i := range dirtyB {
+			dirtyB[i] = 0
+		}
+		for i := range dirtyP {
+			dirtyP[i] = 0
+		}
+	}
 	copy(used, t.slcUsed)
 	*a = *t
 	a.blocks, a.pages, a.subs, a.slcUsed = blocks, pages, subs, used
+	a.dirtyBlocks, a.dirtyPages = dirtyB, dirtyP
+	// a's content changed: advance its own generation so any array that
+	// recorded (a, oldGen) as its template falls back to a full copy.
+	a.gen = gen + 1
+	a.restoredFrom, a.restoredGen = t, t.gen
+	if fast {
+		return
+	}
 	pageOff := 0
 	for id := range a.blocks {
 		n := len(a.blocks[id].Pages)
@@ -200,6 +323,8 @@ func (a *Array) ProgramPage(blockID, pageIdx int, writes []SlotWrite, now int64)
 				blockID, pageIdx, a.cfg.MaxProgramsPerSLCPage)
 		}
 	}
+	a.markDirty(blockID)
+	a.markPageDirty(a.pageOffset(blockID) + pageIdx)
 	written := 0
 	for _, w := range writes {
 		if w.Slot < 0 || w.Slot >= len(pg.Slots) {
@@ -281,6 +406,7 @@ func (a *Array) applyDisturb(b *Block, pageIdx int, writes []SlotWrite) {
 		if n < 0 || n >= len(b.Pages) {
 			continue
 		}
+		a.markPageDirty(a.pageOffset(b.ID) + n)
 		np := &b.Pages[n].Slots
 		for i := range *np {
 			if (*np)[i].State == SubValid {
@@ -296,6 +422,8 @@ func (a *Array) applyDisturb(b *Block, pageIdx int, writes []SlotWrite) {
 func (a *Array) MarkDead(blockID, pageIdx int, slots ...int) error {
 	b := &a.blocks[blockID]
 	pg := &b.Pages[pageIdx]
+	a.markDirty(blockID)
+	a.markPageDirty(a.pageOffset(blockID) + pageIdx)
 	for _, s := range slots {
 		if pg.Slots[s].State != SubFree {
 			return fmt.Errorf("flash: MarkDead on %s slot b%d p%d s%d", pg.Slots[s].State, blockID, pageIdx, s)
@@ -315,6 +443,8 @@ func (a *Array) Invalidate(ppa PPA) error {
 	if s.State != SubValid {
 		return fmt.Errorf("flash: invalidating %s slot %v", s.State, ppa)
 	}
+	a.markDirty(ppa.Block())
+	a.markPageDirty(a.pageOffset(ppa.Block()) + ppa.Page())
 	s.State = SubInvalid
 	b.ValidSub--
 	b.InvalidSub++
@@ -336,6 +466,8 @@ func (a *Array) Erase(blockID int) error {
 	if b.ValidSub != 0 {
 		return fmt.Errorf("flash: erasing block %d with %d valid subpages", blockID, b.ValidSub)
 	}
+	a.markDirty(blockID)
+	a.markPageRangeDirty(a.pageOffset(blockID), len(b.Pages))
 	for p := range b.Pages {
 		pg := &b.Pages[p]
 		pg.ProgramCount = 0
@@ -385,6 +517,8 @@ func (a *Array) SwitchToMLC(blockID int) error {
 	if b.Mode != ModeSLC {
 		return fmt.Errorf("flash: switching block %d already in MLC mode", blockID)
 	}
+	a.markDirty(blockID)
+	a.markPageRangeDirty(a.pageOffset(blockID), len(b.Pages))
 	for p := range b.Pages {
 		pg := &b.Pages[p]
 		for i := range pg.Slots {
@@ -426,6 +560,7 @@ func (a *Array) SwitchToSLC(blockID int) error {
 	if !b.Erased() {
 		return fmt.Errorf("flash: switch-back of non-erased block %d", blockID)
 	}
+	a.markDirty(blockID)
 	b.Mode = ModeSLC
 	b.Level = LevelWork
 	b.Switched = false

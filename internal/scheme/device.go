@@ -76,6 +76,22 @@ type Device struct {
 	unmappedFr  []int32
 	unmappedCnt []int
 
+	// Read-path memos. berMemo caches the Fig. 2 base rate per erase
+	// count ([0] conventional, [1] partial); unmappedCost caches the
+	// constant ECC cost of reading never-written data. Both are pure
+	// caches of deterministic functions of the immutable (Cfg, Err) pair,
+	// so sharing them between the serial and pipelined read paths cannot
+	// change any result bit.
+	berMemo        [2][]float64
+	unmappedCost   errmodel.ReadCost
+	unmappedCostOK bool
+
+	// pipe, when non-nil, routes host reads through the intra-run
+	// parallel pipeline (see readpipe.go). Managed by StartReadPipeline/
+	// StopReadPipeline; always nil on clones, templates and pooled
+	// devices.
+	pipe *readPipe
+
 	// Check, when non-nil, is the attached invariant checker: host writes,
 	// trims and reads are mirrored into its shadow store, and every GC
 	// event triggers a structural sweep (at check.Full). Violations panic
@@ -187,6 +203,12 @@ func (d *Device) Clone() *Device {
 	c.readGroups = nil
 	c.unmappedFr = nil
 	c.unmappedCnt = nil
+	// The memo values stay valid (the clone shares Cfg and Err) but the
+	// backing arrays must not be shared: clones run on other goroutines
+	// and grow their memos independently.
+	c.berMemo[0] = append([]float64(nil), d.berMemo[0]...)
+	c.berMemo[1] = append([]float64(nil), d.berMemo[1]...)
+	c.pipe = nil
 	c.Check = nil
 	c.TestHooks.AfterHostWrite = nil
 	return c
@@ -218,6 +240,7 @@ func (d *Device) Restore(t *Device) {
 	excl := d.excl
 	slcMove, mlcMove := d.slcMoveFrames, d.mlcMoveFrames
 	readGroups, unmappedFr, unmappedCnt := d.readGroups, d.unmappedFr, d.unmappedCnt
+	berMemo := d.berMemo
 
 	*d = *t
 	d.Arr, d.Eng, d.Map, d.Met = arr, eng, m, met
@@ -226,6 +249,14 @@ func (d *Device) Restore(t *Device) {
 	d.excl = excl
 	d.slcMoveFrames, d.mlcMoveFrames = slcMove, mlcMove
 	d.readGroups, d.unmappedFr, d.unmappedCnt = readGroups, unmappedFr, unmappedCnt
+	// Keep d's own memo arrays (never t's — they may be shared with other
+	// restores of the same template) but drop their contents: Restore's
+	// contract is only "same geometry", and the memo is keyed by the
+	// error model and P/E baseline.
+	d.berMemo[0] = berMemo[0][:0]
+	d.berMemo[1] = berMemo[1][:0]
+	d.unmappedCostOK = false
+	d.pipe = nil
 	d.Check = nil
 	d.TestHooks.AfterHostWrite = nil
 }
@@ -509,6 +540,7 @@ func (d *Device) allocSLCPage(now int64, level flash.BlockLevel) (blk, page int,
 		if id := d.popMinEraseReady(&d.slcFree, now); id >= 0 {
 			b := d.Arr.Block(id)
 			b.Level = level
+			d.Arr.MarkBlockDirty(id)
 			d.open[level][slot] = id
 			d.slcFreePages--
 			return id, b.NextFreePage, true
@@ -799,22 +831,13 @@ type readGroup struct {
 	slot [8]uint8
 }
 
-// ReadReq services a host read: mapped subpages are read from their
-// physical pages (one flash read per distinct page, with per-subpage ECC
-// cost from the error model); unmapped subpages model data written before
-// the trace began and are charged as clean MLC reads. Returns the request
-// completion time and records latency and BER metrics.
-func (d *Device) ReadReq(now int64, offset int64, size int) int64 {
-	lsns := d.LSNRange(offset, size)
-	if d.Check != nil {
-		must(d.Check.CheckRead(now, lsns))
-	}
+// groupRead groups the mapped subpages of a request by physical page and
+// tallies unmapped frames, into the device-owned scratch (readGroups,
+// unmappedFr/unmappedCnt). Both populations are small (bounded by the
+// request's subpage count), so first-seen linear probing beats the map
+// allocations it replaces.
+func (d *Device) groupRead(lsns []flash.LSN) {
 	slots := d.Cfg.SlotsPerPage()
-
-	// Group mapped subpages by physical page and tally unmapped frames in
-	// device-owned scratch. Both populations are small (bounded by the
-	// request's subpage count), so first-seen linear probing beats the map
-	// allocations it replaces.
 	groups := d.readGroups[:0]
 	uf := d.unmappedFr[:0]
 	uc := d.unmappedCnt[:0]
@@ -856,17 +879,36 @@ func (d *Device) ReadReq(now int64, offset int64, size int) int64 {
 	d.readGroups = groups
 	d.unmappedFr = uf
 	d.unmappedCnt = uc
+}
+
+// ReadReq services a host read: mapped subpages are read from their
+// physical pages (one flash read per distinct page, with per-subpage ECC
+// cost from the error model); unmapped subpages model data written before
+// the trace began and are charged as clean MLC reads. Returns the request
+// completion time and records latency and BER metrics. With the read
+// pipeline enabled the ECC evaluation and metric fold are deferred
+// (bit-identically) and the returned time excludes the ECC extra.
+func (d *Device) ReadReq(now int64, offset int64, size int) int64 {
+	lsns := d.LSNRange(offset, size)
+	if d.Check != nil {
+		must(d.Check.CheckRead(now, lsns))
+	}
+	if d.pipe != nil {
+		return d.readReqAsync(now, lsns)
+	}
+	d.groupRead(lsns)
 
 	end := now
-	for gi := range groups {
-		g := &groups[gi]
+	for gi := range d.readGroups {
+		g := &d.readGroups[gi]
 		b := d.Arr.Block(g.pa.Block())
-		pe := b.PE(d.Cfg.PEBaseline)
 		var extra time.Duration
 		retries := 0
 		for _, s := range g.slot[:g.n] {
 			sp := d.Arr.Subpage(flash.NewPPA(g.pa.Block(), g.pa.Page(), int(s)))
-			cost := d.Err.SubpageReadCost(pe, sp)
+			ber := d.Err.StressedBER(d.rawBER(b.EraseCount, sp.Partial),
+				sp.InPageDisturb, sp.NeighborDisturb, sp.ReprogramStress)
+			cost := d.Err.CostFromBER(ber)
 			extra += cost.DecodeTime
 			retries += cost.Retries
 			d.Met.ReadBER.Add(cost.BER)
@@ -886,11 +928,11 @@ func (d *Device) ReadReq(now int64, offset int64, size int) int64 {
 		}
 	}
 
-	if len(uf) > 0 {
-		cost := d.Err.CostFromBER(d.Err.RawBER(d.Cfg.PEBaseline, false))
+	if len(d.unmappedFr) > 0 {
+		cost := d.unmappedReadCost()
 		mlcIDs := d.Arr.MLCBlockIDs()
-		for fi, f := range uf {
-			n := uc[fi]
+		for fi, f := range d.unmappedFr {
+			n := d.unmappedCnt[fi]
 			// Deterministic pseudo-placement spreads pre-existing data
 			// across MLC chips.
 			blk := mlcIDs[int(f)%len(mlcIDs)]

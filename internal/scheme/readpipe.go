@@ -1,0 +1,334 @@
+package scheme
+
+import (
+	"time"
+
+	"ipusim/internal/errmodel"
+	"ipusim/internal/flash"
+	"ipusim/internal/sim"
+)
+
+// The intra-run read pipeline. A replay is a single logical timeline —
+// writes, GC and the engine's chip/channel bookkeeping are deeply
+// sequential — but the expensive part of the read path is not: evaluating
+// per-subpage ECC cost (EffectiveBER + CostFromBER, two math.Pow calls per
+// subpage) is pure arithmetic over inputs that are fixed the moment the
+// request is dispatched. The pipeline therefore splits every host read in
+// two:
+//
+//   - dispatch (issue thread): map lookup, page grouping, invariant
+//     checking, and the engine PerformMode calls — everything that touches
+//     or orders mutable device state. The reliability inputs of every
+//     subpage (memoised Fig. 2 base rate + disturb counters) are
+//     snapshotted into a slot of the operation ring, because a later write
+//     or GC may remap or re-stress them before the worker runs.
+//   - evaluate (worker, sharded by the first page's parallel unit):
+//     per-subpage effective BER, decode time, retries, and the request's
+//     completion time. ECC time occupies neither chip nor channel
+//     (sim.Engine charges it after the flash op), so evaluating it off the
+//     timeline cannot change any scheduling decision.
+//   - commit (issue thread, dispatch order): fold the results into the
+//     metrics. Every aggregate a read touches is either an integer sum,
+//     a latency histogram (order-free), or the ReadBER mean — a float sum
+//     that is order-sensitive, which is exactly why commits replay in
+//     dispatch order. The result is bit-identical to the serial path.
+//
+// Consecutive reads batch into one ring operation (readOpBatch) to
+// amortise the handoff; a batch may span interleaved writes because write
+// metrics and read metrics never share an order-sensitive accumulator.
+
+// readOpBatch is the number of host read requests carried by one pipeline
+// operation.
+const readOpBatch = 8
+
+// readSubSnap is the dispatch-time snapshot of one subpage's reliability
+// inputs: the memoised base (Fig. 2) rate for its wear and programming
+// mode, plus the three stress counters.
+type readSubSnap struct {
+	base      float64
+	inPage    uint16
+	neighbor  uint16
+	reprogram uint16
+}
+
+// readGroupJob is one physical-page read of a request: n subpage
+// snapshots in, per-subpage BER plus decode/retry totals out. base is the
+// engine completion time before ECC extra, fixed at dispatch.
+type readGroupJob struct {
+	n    int
+	slc  bool
+	mode flash.Mode
+	base int64
+	sub  [8]readSubSnap
+
+	// Results, filled by the worker.
+	ber     [8]float64
+	retries int
+	unc     int
+}
+
+// unmappedJob is one pseudo-placed read of never-written data. Its cost is
+// a device-wide constant, so it is fully evaluated at dispatch; commit
+// only replays the metric updates.
+type unmappedJob struct {
+	n   int
+	end int64
+}
+
+// readReqJob is one host read request in flight through the pipeline.
+type readReqJob struct {
+	now      int64
+	baseEnd  int64 // max(now, unmapped completion times), fixed at dispatch
+	groups   []readGroupJob
+	unmapped []unmappedJob
+
+	end int64 // result: request completion including ECC extra
+}
+
+// readOp is one pipeline ring slot: a batch of consecutive read requests.
+type readOp struct {
+	n    int
+	reqs [readOpBatch]readReqJob
+}
+
+// readPipe owns the pipeline and its payload ring.
+type readPipe struct {
+	p   *sim.Pipeline
+	ops []readOp
+	// cur is the ring slot of the batch currently being filled, -1 when
+	// none is open. unit is that batch's parallel-unit tag.
+	cur  int
+	unit int
+}
+
+// ParallelReads reports whether the device currently routes host reads
+// through the pipeline.
+func (d *Device) ParallelReads() bool { return d.pipe != nil }
+
+// StartReadPipeline routes subsequent host reads through a worker pool of
+// the given size. Metrics results are identical to the serial path; only
+// wall-clock time changes. The caller owns the device for the duration and
+// must call StopReadPipeline (or FlushReads before reading metrics).
+// Workers below 2 leave the device serial.
+func (d *Device) StartReadPipeline(workers int) {
+	if workers < 2 || d.pipe != nil {
+		return
+	}
+	rp := &readPipe{cur: -1}
+	ring := 4 * workers
+	rp.ops = make([]readOp, 0, ring)
+	rp.p = sim.NewPipeline(workers, ring, d.evalReadOp, d.commitReadOp)
+	// NewPipeline may have raised the ring to its minimum.
+	rp.ops = make([]readOp, rp.p.Ring())
+	d.pipe = rp
+}
+
+// StopReadPipeline commits every in-flight read, stops the workers and
+// returns the device to serial reads. Safe to call on a serial device.
+func (d *Device) StopReadPipeline() {
+	if d.pipe == nil {
+		return
+	}
+	d.FlushReads()
+	d.pipe.p.Close()
+	d.pipe = nil
+}
+
+// FlushReads submits any open batch and blocks until every dispatched
+// read has committed, making all metrics current.
+func (d *Device) FlushReads() {
+	rp := d.pipe
+	if rp == nil {
+		return
+	}
+	rp.submitOpen()
+	rp.p.Flush()
+}
+
+// submitOpen publishes the partially filled batch, if any.
+func (rp *readPipe) submitOpen() {
+	if rp.cur < 0 {
+		return
+	}
+	unit := rp.unit
+	rp.cur = -1
+	rp.p.Submit(unit)
+}
+
+// nextReq returns the next request slot to fill, opening a new batch when
+// none is open (which may block on ring backpressure, committing finished
+// batches meanwhile).
+func (rp *readPipe) nextReq() *readReqJob {
+	if rp.cur < 0 {
+		rp.cur = rp.p.Slot()
+		rp.ops[rp.cur].n = 0
+		rp.unit = 0
+	}
+	op := &rp.ops[rp.cur]
+	req := &op.reqs[op.n]
+	op.n++
+	req.now = 0
+	req.baseEnd = 0
+	req.groups = req.groups[:0]
+	req.unmapped = req.unmapped[:0]
+	return req
+}
+
+// rawBER returns the Fig. 2 base rate for a block's erase count and a
+// subpage's programming mode, memoised per device. The memo is exact —
+// RawBER is a deterministic function of (PEBaseline+eraseCount, partial) —
+// so serial and parallel paths share it without any bit drift.
+func (d *Device) rawBER(eraseCount int, partial bool) float64 {
+	idx := 0
+	if partial {
+		idx = 1
+	}
+	memo := d.berMemo[idx]
+	for len(memo) <= eraseCount {
+		memo = append(memo, -1)
+	}
+	if memo[eraseCount] < 0 {
+		memo[eraseCount] = d.Err.RawBER(d.Cfg.PEBaseline+eraseCount, partial)
+	}
+	d.berMemo[idx] = memo
+	return memo[eraseCount]
+}
+
+// unmappedReadCost returns the constant ECC cost of reading never-written
+// (pre-trace) data: clean conventional MLC at the P/E baseline.
+func (d *Device) unmappedReadCost() *errmodel.ReadCost {
+	if !d.unmappedCostOK {
+		d.unmappedCost = d.Err.CostFromBER(d.Err.RawBER(d.Cfg.PEBaseline, false))
+		d.unmappedCostOK = true
+	}
+	return &d.unmappedCost
+}
+
+// readReqAsync is ReadReq's pipeline twin: it performs every state-
+// touching step of the read synchronously, snapshots the reliability
+// inputs into a ring slot, and defers the ECC arithmetic plus the metric
+// fold to the pipeline. Returns the completion time excluding ECC extra
+// (the full latency is recorded at commit).
+func (d *Device) readReqAsync(now int64, lsns []flash.LSN) int64 {
+	d.groupRead(lsns)
+	rp := d.pipe
+	req := rp.nextReq()
+	req.now = now
+	end := now
+	unit := -1
+
+	for gi := range d.readGroups {
+		g := &d.readGroups[gi]
+		blk := g.pa.Block()
+		b := d.Arr.Block(blk)
+		j := readGroupJob{n: g.n, mode: b.Mode, slc: b.Mode == flash.ModeSLC}
+		for i, s := range g.slot[:g.n] {
+			sp := d.Arr.Subpage(flash.NewPPA(blk, g.pa.Page(), int(s)))
+			j.sub[i] = readSubSnap{
+				base:      d.rawBER(b.EraseCount, sp.Partial),
+				inPage:    sp.InPageDisturb,
+				neighbor:  sp.NeighborDisturb,
+				reprogram: sp.ReprogramStress,
+			}
+		}
+		j.base = d.Eng.PerformMode(now, blk, sim.OpRead, b.Mode, g.n, 0)
+		req.groups = append(req.groups, j)
+		if unit < 0 {
+			unit = d.Cfg.UnitOf(blk)
+		}
+	}
+
+	if len(d.unmappedFr) > 0 {
+		cost := d.unmappedReadCost()
+		mlcIDs := d.Arr.MLCBlockIDs()
+		for fi, f := range d.unmappedFr {
+			n := d.unmappedCnt[fi]
+			blk := mlcIDs[int(f)%len(mlcIDs)]
+			extra := time.Duration(n) * cost.DecodeTime
+			e := d.Eng.Perform(now, blk, sim.OpRead, n, extra)
+			req.unmapped = append(req.unmapped, unmappedJob{n: n, end: e})
+			if e > end {
+				end = e
+			}
+			if unit < 0 {
+				unit = d.Cfg.UnitOf(blk)
+			}
+		}
+	}
+	req.baseEnd = end
+
+	op := &rp.ops[rp.cur]
+	if op.n == 1 && unit >= 0 {
+		rp.unit = unit
+	}
+	if op.n == readOpBatch {
+		rp.submitOpen()
+	}
+	return end
+}
+
+// evalReadOp is the worker half: pure arithmetic over the dispatch
+// snapshots. It may read only the op payload and the device's immutable
+// config and error model.
+func (d *Device) evalReadOp(slot int) {
+	op := &d.pipe.ops[slot]
+	for ri := 0; ri < op.n; ri++ {
+		req := &op.reqs[ri]
+		end := req.baseEnd
+		for gi := range req.groups {
+			g := &req.groups[gi]
+			var extra time.Duration
+			retries, unc := 0, 0
+			for i := 0; i < g.n; i++ {
+				s := &g.sub[i]
+				ber := d.Err.StressedBER(s.base, s.inPage, s.neighbor, s.reprogram)
+				cost := d.Err.CostFromBER(ber)
+				g.ber[i] = ber
+				extra += cost.DecodeTime
+				retries += cost.Retries
+				if cost.Uncorrectable {
+					unc++
+				}
+			}
+			g.retries, g.unc = retries, unc
+			extra += time.Duration(retries) * d.cellReadTime(g.mode)
+			if e := g.base + int64(extra); e > end {
+				end = e
+			}
+		}
+		req.end = end
+	}
+}
+
+// commitReadOp is the in-order fold: it replays exactly the metric updates
+// the serial path would have made, in the same order.
+func (d *Device) commitReadOp(slot int) {
+	op := &d.pipe.ops[slot]
+	for ri := 0; ri < op.n; ri++ {
+		req := &op.reqs[ri]
+		for gi := range req.groups {
+			g := &req.groups[gi]
+			for i := 0; i < g.n; i++ {
+				d.Met.ReadBER.Add(g.ber[i])
+			}
+			d.Met.UncorrectableReads += int64(g.unc)
+			if g.slc {
+				d.Met.SubpageReadsSLC += int64(g.n)
+			} else {
+				d.Met.SubpageReadsMLC += int64(g.n)
+			}
+			d.Met.ReadRetries += int64(g.retries)
+		}
+		if len(req.unmapped) > 0 {
+			cost := d.unmappedReadCost()
+			for _, u := range req.unmapped {
+				for i := 0; i < u.n; i++ {
+					d.Met.ReadBER.Add(cost.BER)
+				}
+				d.Met.SubpageReadsMLC += int64(u.n)
+			}
+		}
+		d.Met.ReadLatency.Record(req.end - req.now)
+		d.Met.AllLatency.Record(req.end - req.now)
+	}
+}

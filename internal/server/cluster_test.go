@@ -145,6 +145,7 @@ func TestJobKeyCanonicalisation(t *testing.T) {
 		Scale:       scale,
 		Seed:        42,
 		Timeout:     "3m", // lifecycle-only; must not affect the key
+		Parallelism: 8,    // speed-only; results are bit-identical to serial
 	}, scale)
 	if implicit != explicit {
 		t.Fatalf("defaulted matrix keys differ: %s vs %s", implicit, explicit)

@@ -65,6 +65,11 @@ type JobRequest struct {
 	Scale float64 `json:"scale,omitempty"`
 	Seed  int64   `json:"seed,omitempty"`
 
+	// Parallelism sets per-run read-path evaluation workers (0/1 =
+	// serial). It never changes results — metrics are bit-identical either
+	// way — so it is excluded from the job's content address.
+	Parallelism int `json:"parallelism,omitempty"`
+
 	// Timeout caps the job's wall-clock run time (Go duration string,
 	// e.g. "2m"). Empty means the server default.
 	Timeout string `json:"timeout,omitempty"`
@@ -159,6 +164,9 @@ func compile(req JobRequest, defaultScale float64) (jobFunc, error) {
 	if req.Seed == 0 {
 		req.Seed = 42
 	}
+	if req.Parallelism < 0 {
+		return nil, fmt.Errorf("parallelism %d must be >= 0", req.Parallelism)
+	}
 	switch req.Kind {
 	case "run":
 		return compileRun(req)
@@ -226,6 +234,7 @@ func compileRun(req JobRequest) (jobFunc, error) {
 		}
 		cfg := core.DefaultConfig()
 		cfg.Scheme = req.Scheme
+		cfg.Parallelism = req.Parallelism
 		if req.PEBaseline > 0 {
 			cfg.Flash.PEBaseline = req.PEBaseline
 		}
@@ -288,12 +297,13 @@ func compileCell(req JobRequest) (jobFunc, error) {
 	}
 	return func(ctx context.Context, report core.ProgressFunc) (any, error) {
 		spec := core.MatrixSpec{
-			Traces:     []string{req.Trace},
-			Schemes:    []string{req.Scheme},
-			Scale:      req.Scale,
-			Seed:       req.Seed,
-			Flash:      fc,
-			OnProgress: report,
+			Traces:      []string{req.Trace},
+			Schemes:     []string{req.Scheme},
+			Scale:       req.Scale,
+			Seed:        req.Seed,
+			Flash:       fc,
+			Parallelism: req.Parallelism,
+			OnProgress:  report,
 		}
 		cell := core.MatrixCell{Trace: req.Trace, Scheme: req.Scheme, PE: req.PEBaseline}
 		return core.RunCellContext(ctx, spec, cell)
@@ -314,6 +324,7 @@ func compileMatrix(req JobRequest) (jobFunc, error) {
 			PEBaselines: req.PEBaselines,
 			Scale:       req.Scale,
 			Seed:        req.Seed,
+			Parallelism: req.Parallelism,
 			OnProgress:  report,
 		}
 		return core.RunMatrixContext(ctx, spec)
@@ -336,11 +347,12 @@ func compileSensitivity(req JobRequest) (jobFunc, error) {
 	}
 	return func(ctx context.Context, report core.ProgressFunc) (any, error) {
 		spec := core.MatrixSpec{
-			Traces:     req.Traces,
-			Schemes:    req.Schemes,
-			Scale:      req.Scale,
-			Seed:       req.Seed,
-			OnProgress: report,
+			Traces:      req.Traces,
+			Schemes:     req.Schemes,
+			Scale:       req.Scale,
+			Seed:        req.Seed,
+			Parallelism: req.Parallelism,
+			OnProgress:  report,
 		}
 		return core.RunSensitivityContext(ctx, req.Param, spec)
 	}, nil

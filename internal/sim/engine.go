@@ -91,8 +91,8 @@ func NewEngine(cfg *flash.Config) *Engine {
 // config.
 func (e *Engine) Clone() *Engine {
 	c := &Engine{
-		chipFree: make([]int64, len(e.chipFree)),
-		chanFree: make([]int64, len(e.chanFree)),
+		chipFree:  make([]int64, len(e.chipFree)),
+		chanFree:  make([]int64, len(e.chanFree)),
 		gcBacklog: make([]int64, len(e.gcBacklog)),
 	}
 	c.Stats.BusyPerChip = make([]int64, len(e.Stats.BusyPerChip))

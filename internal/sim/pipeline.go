@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pipeline is the intra-run parallel execution stage of the engine: a
+// bounded pool of workers evaluates operations off the replay thread while
+// their results are committed back on the replay thread in dispatch
+// (simulated-time) order. It exists for work that is expensive but pure —
+// per-subpage ECC/reliability evaluation — whose inputs can be snapshotted
+// at dispatch and whose outputs fold into order-insensitive aggregates.
+//
+// The pipeline itself is payload-agnostic: the caller owns a ring of
+// operation slots (parallel to the pipeline's own ring) and passes two
+// callbacks. eval(slot) runs on a worker goroutine and must touch only the
+// slot's payload plus immutable shared state; commit(slot) runs on the
+// issue thread, in dispatch order, and may touch anything the issue thread
+// owns. One slot is in exactly one hand at a time: the issue thread fills
+// it, a worker evaluates it, the issue thread commits it — so payloads
+// need no locks of their own.
+//
+// Use:
+//
+//	slot := p.Slot()     // reserve (may block until a commit frees one)
+//	fill payload[slot]
+//	p.Submit(unit)       // hand to the unit's worker
+//	...
+//	p.Flush()            // barrier: everything submitted is committed
+//	p.Close()            // Flush + stop the workers
+type Pipeline struct {
+	eval   func(slot int)
+	commit func(slot int)
+
+	// queues carries sequence numbers to workers; ops for the same
+	// parallel unit always land on the same worker, preserving per-unit
+	// FIFO (and spreading planes across the pool).
+	queues []chan int64
+
+	// done[seq%ring] flips to 1 when a worker finishes evaluating that
+	// sequence number. Commit clears it before the slot is reused.
+	done []atomic.Uint32
+
+	ring int64
+	head int64 // next sequence number to reserve
+	tail int64 // next sequence number to commit
+
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// NewPipeline builds a pipeline of the given worker count. ring bounds the
+// number of operations in flight (reserved but not yet committed); values
+// below 2*workers are raised to that, so every worker can be busy while
+// the issue thread fills the next slots.
+func NewPipeline(workers, ring int, eval, commit func(slot int)) *Pipeline {
+	if workers < 1 {
+		workers = 1
+	}
+	if min := 2 * workers; ring < min {
+		ring = min
+	}
+	p := &Pipeline{
+		eval:   eval,
+		commit: commit,
+		queues: make([]chan int64, workers),
+		done:   make([]atomic.Uint32, ring),
+		ring:   int64(ring),
+	}
+	for i := range p.queues {
+		// Each queue holds a full ring of sequence numbers so Submit
+		// never blocks: ring slots bound the in-flight count first.
+		q := make(chan int64, ring)
+		p.queues[i] = q
+		p.wg.Add(1)
+		go p.worker(q)
+	}
+	return p
+}
+
+// Workers returns the pool size.
+func (p *Pipeline) Workers() int { return len(p.queues) }
+
+// Ring returns the in-flight operation bound.
+func (p *Pipeline) Ring() int { return int(p.ring) }
+
+func (p *Pipeline) worker(q <-chan int64) {
+	defer p.wg.Done()
+	for seq := range q {
+		p.eval(int(seq % p.ring))
+		p.done[seq%p.ring].Store(1)
+	}
+}
+
+// Slot reserves the next operation slot and returns its index into the
+// caller's payload ring. When every slot is in flight it first waits for
+// the oldest operation to commit; it also opportunistically commits
+// whatever has already finished, so commit latency stays bounded without a
+// dedicated committer thread.
+func (p *Pipeline) Slot() int {
+	p.drain()
+	for p.head-p.tail >= p.ring {
+		p.commitOne()
+	}
+	return int(p.head % p.ring)
+}
+
+// Submit publishes the slot reserved by the last Slot call to the worker
+// owning the given parallel unit. The caller must not touch the payload
+// again until the pipeline commits it.
+func (p *Pipeline) Submit(unit int) {
+	if unit < 0 {
+		unit = 0
+	}
+	seq := p.head
+	p.done[seq%p.ring].Store(0)
+	p.head = seq + 1
+	p.queues[unit%len(p.queues)] <- seq
+}
+
+// drain commits every operation that has finished evaluating, in order,
+// without blocking.
+func (p *Pipeline) drain() {
+	for p.tail < p.head && p.done[p.tail%p.ring].Load() == 1 {
+		p.commit(int(p.tail % p.ring))
+		p.tail++
+	}
+}
+
+// commitOne blocks until the oldest in-flight operation finishes
+// evaluating, then commits it.
+func (p *Pipeline) commitOne() {
+	slot := p.tail % p.ring
+	for spins := 0; p.done[slot].Load() == 0; spins++ {
+		if spins > 64 {
+			runtime.Gosched()
+		}
+	}
+	p.commit(int(slot))
+	p.tail++
+}
+
+// Flush commits every submitted operation; on return the pipeline is
+// empty and every result is visible on the issue thread.
+func (p *Pipeline) Flush() {
+	for p.tail < p.head {
+		p.commitOne()
+	}
+}
+
+// Close flushes outstanding work and stops the workers. The pipeline must
+// not be used afterwards. Close is idempotent.
+func (p *Pipeline) Close() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	p.Flush()
+	for _, q := range p.queues {
+		close(q)
+	}
+	p.wg.Wait()
+}

@@ -1,0 +1,142 @@
+package sim
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPipelineCommitOrder submits operations with deliberately skewed
+// evaluation latencies and asserts commits still land in dispatch order.
+func TestPipelineCommitOrder(t *testing.T) {
+	const n = 500
+	payload := make([]int, 16)
+	var committed []int
+	p := NewPipeline(4, len(payload),
+		func(slot int) {
+			// Earlier ops sleep longer, maximising out-of-order completion.
+			if payload[slot]%7 == 0 {
+				time.Sleep(time.Duration(payload[slot]%5) * 100 * time.Microsecond)
+			}
+		},
+		func(slot int) { committed = append(committed, payload[slot]) },
+	)
+	defer p.Close()
+	for i := 0; i < n; i++ {
+		slot := p.Slot()
+		payload[slot] = i
+		p.Submit(i % 13) // scatter across units and workers
+	}
+	p.Flush()
+	if len(committed) != n {
+		t.Fatalf("committed %d ops, want %d", len(committed), n)
+	}
+	for i, v := range committed {
+		if v != i {
+			t.Fatalf("commit order broken at %d: got %d", i, v)
+		}
+	}
+}
+
+// TestPipelineBackpressure checks that a ring smaller than the submission
+// count bounds the in-flight ops instead of losing or reordering any.
+func TestPipelineBackpressure(t *testing.T) {
+	const n = 2000
+	ring := 8 // raised to 2*workers internally if smaller
+	payload := make([]int64, 16)
+	var sum int64
+	var inFlight, maxInFlight int64
+	p := NewPipeline(8, ring,
+		func(slot int) {
+			cur := atomic.AddInt64(&inFlight, 1)
+			for {
+				old := atomic.LoadInt64(&maxInFlight)
+				if cur <= old || atomic.CompareAndSwapInt64(&maxInFlight, old, cur) {
+					break
+				}
+			}
+			atomic.AddInt64(&inFlight, -1)
+		},
+		func(slot int) { sum += payload[slot] },
+	)
+	for i := int64(1); i <= n; i++ {
+		slot := p.Slot()
+		payload[slot] = i
+		p.Submit(int(i))
+	}
+	p.Close()
+	if want := int64(n) * (n + 1) / 2; sum != want {
+		t.Fatalf("committed sum %d, want %d", sum, want)
+	}
+	if maxInFlight > int64(p.Ring()) {
+		t.Fatalf("in-flight ops %d exceeded ring %d", maxInFlight, p.Ring())
+	}
+}
+
+// TestPipelinePerUnitFIFO asserts ops for one parallel unit are evaluated
+// in submission order (they share a worker queue).
+func TestPipelinePerUnitFIFO(t *testing.T) {
+	const n = 1000
+	payload := make([]int, 32)
+	unitOf := func(v int) int { return v % 3 }
+	var lastSeen [3]int64
+	fail := make(chan string, 1)
+	p := NewPipeline(3, len(payload),
+		func(slot int) {
+			v := payload[slot]
+			u := unitOf(v)
+			if prev := atomic.LoadInt64(&lastSeen[u]); int64(v) < prev {
+				select {
+				case fail <- "unit FIFO violated":
+				default:
+				}
+			}
+			atomic.StoreInt64(&lastSeen[u], int64(v))
+		},
+		func(slot int) {},
+	)
+	for i := 0; i < n; i++ {
+		slot := p.Slot()
+		payload[slot] = i
+		p.Submit(unitOf(i))
+	}
+	p.Close()
+	select {
+	case msg := <-fail:
+		t.Fatal(msg)
+	default:
+	}
+}
+
+// TestPipelineCloseStopsWorkers verifies Close joins every worker
+// goroutine — the leak-freedom half of cancellation handling.
+func TestPipelineCloseStopsWorkers(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 10; i++ {
+		p := NewPipeline(6, 24, func(int) {}, func(int) {})
+		for j := 0; j < 50; j++ {
+			p.Slot()
+			p.Submit(j)
+		}
+		p.Close()
+		p.Close() // idempotent
+	}
+	// Goroutine counts are noisy; poll for the pools to unwind.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("worker goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}
+
+// TestPipelineFlushEmpty ensures Flush and Close on an idle pipeline are
+// no-ops.
+func TestPipelineFlushEmpty(t *testing.T) {
+	p := NewPipeline(2, 4, func(int) {}, func(int) {})
+	p.Flush()
+	p.Close()
+}

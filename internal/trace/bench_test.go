@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"os"
 	"strings"
 	"testing"
 )
@@ -58,7 +59,10 @@ func BenchmarkTraceScan(b *testing.B) {
 	}
 }
 
-// BenchmarkParseMSR measures CSV parsing throughput.
+// BenchmarkParseMSR measures CSV parsing throughput. Allocations are
+// asserted per parse (see also TestParseMSRAllocsBound): the index-based
+// field scanner must not allocate per line, so a whole parse costs only
+// the column growth, the scanner buffer and the trace itself.
 func BenchmarkParseMSR(b *testing.B) {
 	tr, err := Generate(Profiles["lun2"], 1, 0.01)
 	if err != nil {
@@ -70,10 +74,84 @@ func BenchmarkParseMSR(b *testing.B) {
 	}
 	in := sb.String()
 	b.SetBytes(int64(len(in)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := ParseMSR("bench", strings.NewReader(in)); err != nil {
 			b.Fatal(err)
 		}
+	}
+	b.StopTimer()
+	// The allocs/op assertion: parsing must cost O(columns), not O(lines).
+	// The bound is generous (growth doublings + scanner + sort) but far
+	// below one allocation per line.
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, err := ParseMSR("bench", strings.NewReader(in)); err != nil {
+			b.Fatal(err)
+		}
+	})
+	if maxAllocs := float64(tr.Len() / 10); allocs > maxAllocs {
+		b.Fatalf("ParseMSR of %d lines costs %.0f allocs (> %.0f): per-line allocation crept back in",
+			tr.Len(), allocs, maxAllocs)
+	}
+}
+
+// BenchmarkTraceOpenITC measures opening a compiled .itc trace: map (or
+// read), verify, and a single streaming decode pass into exactly-sized
+// columns. allocs/op is the gated metric — a constant handful per open,
+// zero per record.
+func BenchmarkTraceOpenITC(b *testing.B) {
+	tr, err := Generate(Profiles["lun2"], 1, 0.02)
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := b.TempDir() + "/bench.itc"
+	f, err := os.Create(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := WriteITC(f, tr); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		b.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(st.Size())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, err := OpenITC(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got.Len() != tr.Len() {
+			b.Fatalf("decoded %d records, want %d", got.Len(), tr.Len())
+		}
+	}
+}
+
+// TestParseMSRAllocsBound is the satellite allocs/op assertion in test
+// form, so `go test` (not only -bench) enforces it.
+func TestParseMSRAllocsBound(t *testing.T) {
+	tr, err := Generate(Profiles["lun2"], 1, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteMSR(&sb, tr); err != nil {
+		t.Fatal(err)
+	}
+	in := sb.String()
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, err := ParseMSR("bench", strings.NewReader(in)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if maxAllocs := float64(tr.Len() / 10); allocs > maxAllocs {
+		t.Fatalf("ParseMSR of %d lines costs %.0f allocs (> %.0f)", tr.Len(), allocs, maxAllocs)
 	}
 }

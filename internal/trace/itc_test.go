@@ -1,0 +1,208 @@
+package trace
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// itcSample builds a representative trace: mixed ops, clustered offsets,
+// duplicate timestamps, a large time jump.
+func itcSample(t *testing.T, n int) *Trace {
+	t.Helper()
+	tr, err := Generate(Profiles["lun2"], 7, 0.004)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() < n {
+		t.Fatalf("sample trace has %d records, want at least %d", tr.Len(), n)
+	}
+	return tr
+}
+
+func TestITCRoundTrip(t *testing.T) {
+	for _, tr := range []*Trace{
+		New("empty"),
+		New("one", Record{Time: 5, Op: OpWrite, Offset: 4096, Size: 4096}),
+		itcSample(t, 1000),
+	} {
+		b, err := AppendITC(nil, tr)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", tr.Name, err)
+		}
+		got, err := DecodeITC(tr.Name, b)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", tr.Name, err)
+		}
+		assertTraceEqual(t, tr, got)
+	}
+}
+
+func assertTraceEqual(t *testing.T, want, got *Trace) {
+	t.Helper()
+	if got.Name != want.Name {
+		t.Fatalf("name %q, want %q", got.Name, want.Name)
+	}
+	if got.Len() != want.Len() {
+		t.Fatalf("%s: %d records, want %d", want.Name, got.Len(), want.Len())
+	}
+	if got.MaxOffset() != want.MaxOffset() {
+		t.Fatalf("%s: MaxOffset %d, want %d", want.Name, got.MaxOffset(), want.MaxOffset())
+	}
+	for i := 0; i < want.Len(); i++ {
+		if got.At(i) != want.At(i) {
+			t.Fatalf("%s: record %d = %+v, want %+v", want.Name, i, got.At(i), want.At(i))
+		}
+	}
+}
+
+func TestITCOpenFile(t *testing.T) {
+	tr := itcSample(t, 100)
+	path := filepath.Join(t.TempDir(), "sample.itc")
+	var buf bytes.Buffer
+	if err := WriteITC(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := OpenITC(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTraceEqual(t, tr, got)
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Open sniffs the format: the same file through Open, and a CSV
+	// through Open, both land on the right parser.
+	got, err = Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTraceEqual(t, tr, got)
+
+	csvPath := filepath.Join(t.TempDir(), "sample.csv")
+	f, err := os.Create(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMSR(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	parsed, err := Open(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Len() != tr.Len() {
+		t.Fatalf("CSV via Open: %d records, want %d", parsed.Len(), tr.Len())
+	}
+}
+
+// TestITCRejectsTornFiles truncates and corrupts an encoding at every
+// region and asserts the decoder returns an error instead of panicking or
+// silently accepting.
+func TestITCRejectsTornFiles(t *testing.T) {
+	tr := itcSample(t, 200)
+	b, err := AppendITC(nil, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncations at a spread of prefixes, including mid-header and
+	// mid-column.
+	for _, cut := range []int{0, 1, 3, 4, 8, itcHeaderSize, itcHeaderSize + 3, len(b) / 2, len(b) - 9, len(b) - 1} {
+		if cut >= len(b) {
+			continue
+		}
+		if _, err := DecodeITC("torn", b[:cut]); err == nil {
+			t.Errorf("truncation at %d/%d accepted", cut, len(b))
+		}
+	}
+	// Single-byte corruption anywhere must trip the checksum (or a
+	// structural check).
+	for _, pos := range []int{0, 5, 9, 17, itcHeaderSize + 1, len(b)/2 + 1, len(b) - 4} {
+		mut := append([]byte(nil), b...)
+		mut[pos] ^= 0x40
+		if _, err := DecodeITC("corrupt", mut); err == nil {
+			t.Errorf("corruption at byte %d accepted", pos)
+		}
+	}
+	// Trailing garbage is rejected even when the prefix is intact.
+	if _, err := DecodeITC("trailing", append(append([]byte(nil), b...), 0xAA)); err == nil {
+		t.Error("trailing byte accepted")
+	}
+}
+
+// TestITCEncodeRejectsInvalid ensures no .itc file of an ill-formed trace
+// can come into existence.
+func TestITCEncodeRejectsInvalid(t *testing.T) {
+	bad := New("bad",
+		Record{Time: 10, Op: OpRead, Offset: 0, Size: 4096},
+		Record{Time: 5, Op: OpRead, Offset: 0, Size: 4096}, // out of order
+	)
+	if _, err := AppendITC(nil, bad); err == nil {
+		t.Fatal("out-of-order trace encoded")
+	}
+}
+
+// TestOpenITCAllocs pins the open path's allocation behaviour: one open
+// costs a constant handful of allocations (the four columns plus
+// bookkeeping) regardless of record count — zero per parsed record.
+func TestOpenITCAllocs(t *testing.T) {
+	tr := itcSample(t, 2000)
+	b, err := AppendITC(nil, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := DecodeITC("allocs", b); err != nil {
+			panic(err)
+		}
+	})
+	// 4 columns + trace struct + name + checksum hasher state.
+	if allocs > 16 {
+		t.Errorf("DecodeITC of %d records costs %.0f allocs; want a record-count-independent handful", tr.Len(), allocs)
+	}
+}
+
+// FuzzDecodeITC feeds the decoder arbitrary bytes: it must either decode
+// to a trace that passes Validate and re-encodes byte-identically, or
+// reject with an error — never panic.
+func FuzzDecodeITC(f *testing.F) {
+	tr := New("seed",
+		Record{Time: 0, Op: OpRead, Offset: 0, Size: 512},
+		Record{Time: 0, Op: OpWrite, Offset: 1 << 40, Size: 1 << 20},
+		Record{Time: 123456789, Op: OpWrite, Offset: 4096, Size: 4096},
+	)
+	if b, err := AppendITC(nil, tr); err == nil {
+		f.Add(b)
+		f.Add(b[:len(b)/2])
+		mut := append([]byte(nil), b...)
+		mut[9] ^= 0xFF
+		f.Add(mut)
+	}
+	if b, err := AppendITC(nil, New("empty")); err == nil {
+		f.Add(b)
+	}
+	f.Add([]byte(itcMagic))
+	f.Add([]byte("ITC1\x00\x00\x00\x00\xff\xff\xff\xff\xff\xff\xff\xff"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := DecodeITC("fuzz", data)
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("decoded trace fails Validate: %v", err)
+		}
+		again, err := AppendITC(nil, tr)
+		if err != nil {
+			t.Fatalf("re-encode of decoded trace failed: %v", err)
+		}
+		if !bytes.Equal(again, data) {
+			t.Fatal("decode/encode is not the identity on accepted input")
+		}
+	})
+}

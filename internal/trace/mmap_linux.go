@@ -1,0 +1,36 @@
+//go:build linux
+
+package trace
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile returns a read-only view of the file's bytes, memory-mapped so
+// large compiled traces decode straight out of the page cache, plus a
+// release function. Empty files map to an empty (non-mmap) slice.
+func mapFile(path string) (data []byte, unmap func(), err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, func() {}, nil
+	}
+	if int64(int(size)) != size {
+		return readFileFallback(path)
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		// Some filesystems (or sandboxes) refuse mmap; fall back to a read.
+		return readFileFallback(path)
+	}
+	return b, func() { _ = syscall.Munmap(b) }, nil
+}

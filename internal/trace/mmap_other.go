@@ -1,0 +1,10 @@
+//go:build !linux
+
+package trace
+
+// mapFile returns the file's bytes and a release function. On non-linux
+// platforms it simply reads the file; the decoder does not care where the
+// bytes live.
+func mapFile(path string) (data []byte, unmap func(), err error) {
+	return readFileFallback(path)
+}
