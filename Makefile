@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race serve serve-test serve-cluster-test bench bench-json bench-baseline bench-check check-schemes check-parallel experiments ablation sensitivity fuzz fuzz-parse fuzz-replay golden clean
+.PHONY: all build test vet race serve serve-test serve-cluster-test bench bench-json bench-baseline bench-check check-schemes check-parallel check-tenants experiments ablation sensitivity fuzz fuzz-parse fuzz-replay golden clean
 
 all: build test
 
@@ -60,6 +60,18 @@ check-schemes:
 # plus the cancellation goroutine-leak check, all under the race detector.
 check-parallel:
 	$(GO) test -race -count 1 -run 'TestPipeline|TestParallel' ./internal/sim ./internal/core
+
+# The multi-tenant/spec-API acceptance gate: the spec-vs-legacy
+# bit-identity differential across every scheme, multi-tenant replay
+# determinism, cancelled-run per-tenant partials, the write-cache
+# front-end (unit + integration), the tenant scheduler units, and the
+# multi-tenant golden snapshots — all under the race detector.
+check-tenants:
+	$(GO) test -race -count 1 ./internal/cache ./internal/workload
+	$(GO) test -race -count 1 \
+	  -run 'TestSpecPath|TestMultiTenant|TestWriteCache|TestClosedLoopSpec|TestGoldenMultiTenant' \
+	  ./internal/core
+	$(GO) test -race -count 1 -run 'TestV2JobKeys|TestV3|TestMultiTenantJob' ./internal/server
 
 # Regenerate every table and figure of the paper (plus the P/E sweep).
 experiments:

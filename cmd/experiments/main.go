@@ -12,7 +12,9 @@
 //	            [-progress] [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // -pesweep additionally runs the Fig. 13/14 endurance sweep (4 P/E
-// levels). -ablate runs the IPU design-choice ablation (ISR victim policy,
+// levels). -tenants runs the multi-tenant contention study: every scheme
+// ranked under two tenant mixes, with the DRAM write-cache front-end off
+// and on. -ablate runs the IPU design-choice ablation (ISR victim policy,
 // level hierarchy, intra-page update, adaptive combining). -full uses the
 // paper's full 65536-block geometry (slow, several GiB of memory).
 // -progress reports aggregated sweep progress on stderr; interrupting the
@@ -47,6 +49,7 @@ func main() {
 		traces   = flag.String("traces", "", "comma-separated trace names (default: all six)")
 		schemes  = flag.String("schemes", "", "comma-separated schemes (default: Baseline,MGA,IPU,IPS,IPU-PGC)")
 		pesweep  = flag.Bool("pesweep", false, "also run the Fig 13/14 P/E sweep")
+		tenants  = flag.Bool("tenants", false, "also run the multi-tenant contention study (buffer off vs on)")
 		ablate   = flag.Bool("ablate", false, "also run the IPU ablation study")
 		sens     = flag.String("sensitivity", "", "also sweep a device parameter: slcratio, gcthreshold, backlogcap or planes")
 		repl     = flag.Int("replicate", 0, "also run the matrix across N seeds and report mean +- std")
@@ -80,7 +83,7 @@ func main() {
 		Scale: *scale, Seed: *seed, Traces: *traces, Schemes: *schemes,
 		PESweep: *pesweep, Ablate: *ablate, Sensitivity: *sens,
 		CSVDir: *csvdir, Replicate: *repl, Full: *full, Workers: *workers,
-		Parallel: *parallel,
+		Parallel: *parallel, Tenants: *tenants,
 	}
 	if *progress {
 		o.Progress = os.Stderr
@@ -128,6 +131,7 @@ type runOpts struct {
 	Traces      string
 	Schemes     string
 	PESweep     bool
+	Tenants     bool
 	Ablate      bool
 	Sensitivity string
 	CSVDir      string
@@ -232,6 +236,23 @@ func run(ctx context.Context, out io.Writer, o runOpts) error {
 			return err
 		}
 		if err := emit(core.Fig14(srs)); err != nil {
+			return err
+		}
+	}
+
+	if o.Tenants {
+		tenSpec := core.TenantContentionSpec{
+			Schemes:    splitList(o.Schemes),
+			Seed:       seed,
+			Scale:      scale,
+			Flash:      &fc,
+			OnProgress: spec.OnProgress,
+		}
+		rows, err := core.RunTenantContentionContext(ctx, tenSpec)
+		if err != nil {
+			return err
+		}
+		if err := emit(core.TenantContention(rows)); err != nil {
 			return err
 		}
 	}

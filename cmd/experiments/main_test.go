@@ -63,6 +63,30 @@ func TestRunWithPESweep(t *testing.T) {
 	}
 }
 
+func TestRunWithTenants(t *testing.T) {
+	var out strings.Builder
+	err := run(context.Background(), &out, runOpts{
+		Scale: 0.002, Seed: 1, Traces: "ads", Schemes: "Baseline,IPU",
+		Tenants: true, Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"Tenant contention", "web+batch", "usr+ads-bursty",
+		"worstP99read", "fairness",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	// Both buffer arms appear, and the buffered arm reports cache work.
+	if !strings.Contains(s, "off") || !strings.Contains(s, "on") {
+		t.Error("buffer arms missing from contention table")
+	}
+}
+
 func TestRunUnknownTrace(t *testing.T) {
 	var out strings.Builder
 	if err := run(context.Background(), &out, runOpts{Scale: 0.01, Seed: 1, Traces: "bogus", Workers: 1}); err == nil {

@@ -5,7 +5,14 @@
 //
 //	ipusim [-scheme IPU] [-trace ts0 | -file trace.csv] [-scale 0.05]
 //	       [-seed 42] [-pe 4000] [-full] [-printconfig] [-check full]
-//	       [-progress] [-parallel 8]
+//	       [-progress] [-parallel 8] [-qd 16] [-tenants ts0:3,wdev0:1]
+//	       [-cache 4194304]
+//
+// -tenants replays several tenant streams interleaved onto one device
+// (closed-loop only: requires -qd); each item is profile[:weight][@phase-ns]
+// and the run reports per-tenant latency percentiles plus a fairness
+// index. -cache puts a DRAM write buffer of the given byte capacity in
+// front of the device so sub-page rewrites coalesce in host memory.
 //
 // -trace selects one of the six synthetic paper workloads; -file replays a
 // real trace instead — MSR-Cambridge CSV or a compiled binary .itc file
@@ -25,15 +32,18 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
+	"ipusim/internal/cache"
 	"ipusim/internal/check"
 	"ipusim/internal/core"
 	"ipusim/internal/flash"
 	"ipusim/internal/metrics"
 	"ipusim/internal/trace"
+	"ipusim/internal/workload"
 )
 
 // options carries every run flag; the zero value of a field means "flag
@@ -53,6 +63,13 @@ type options struct {
 	PrintConfig bool
 	Dist        bool
 	JSON        bool
+	// Tenants is the multi-tenant closed-loop spec: a comma-separated
+	// profile[:weight][@phase-ns] list. Requires -qd.
+	Tenants string
+	// CacheBytes > 0 puts a DRAM write buffer of that capacity in front
+	// of the device; CacheLine overrides its line size. Requires -qd.
+	CacheBytes int64
+	CacheLine  int
 	// Progress, when non-nil, receives replay progress lines.
 	Progress io.Writer
 }
@@ -71,6 +88,10 @@ func main() {
 	flag.BoolVar(&o.Dist, "dist", false, "also print the response-time distribution (Fig 5)")
 	flag.BoolVar(&o.JSON, "json", false, "emit the result as JSON instead of a table")
 	flag.IntVar(&o.QD, "qd", 0, "replay closed-loop at this queue depth (0 = open-loop trace replay)")
+	flag.StringVar(&o.Tenants, "tenants", "",
+		"multi-tenant closed loop: comma-separated profile[:weight][@phase-ns] list (requires -qd)")
+	flag.Int64Var(&o.CacheBytes, "cache", 0, "DRAM write-buffer capacity in bytes (0 = off; requires -qd)")
+	flag.IntVar(&o.CacheLine, "cacheline", 0, "write-buffer line size in bytes (0 = default 4096)")
 	flag.IntVar(&o.Parallel, "parallel", 0, "read-path evaluation workers (0/1 = serial; metrics are identical either way)")
 	flag.StringVar(&o.ConfigPath, "config", "", "load device/error configuration from a JSON file")
 	flag.StringVar(&o.Check, "check", "", "invariant checking: off, shadow or full (slow; use for debugging, not benchmarks)")
@@ -126,8 +147,20 @@ func run(ctx context.Context, out io.Writer, o options) error {
 		return core.Table2(&cfg.Flash).Render(out)
 	}
 
+	multiTenant := o.Tenants != ""
+	if (multiTenant || o.CacheBytes > 0) && o.QD <= 0 {
+		return fmt.Errorf("-tenants and -cache need a closed-loop replay: set -qd")
+	}
+
 	var tr *trace.Trace
-	if o.File != "" {
+	var tenants []workload.TenantSpec
+	if multiTenant {
+		var err error
+		tenants, err = parseTenants(o.Tenants)
+		if err != nil {
+			return err
+		}
+	} else if o.File != "" {
 		var err error
 		tr, err = trace.Open(o.File)
 		if err != nil {
@@ -155,7 +188,17 @@ func run(ctx context.Context, out io.Writer, o options) error {
 	start := time.Now()
 	var res *core.Result
 	if o.QD > 0 {
-		res, err = sim.RunClosedLoopContext(ctx, tr, o.QD)
+		spec := core.ClosedLoopSpec{
+			Trace:   tr,
+			Depth:   o.QD,
+			Tenants: tenants,
+			Seed:    o.Seed,
+			Scale:   o.Scale,
+		}
+		if o.CacheBytes > 0 {
+			spec.WriteCache = &cache.Config{CapacityBytes: o.CacheBytes, LineBytes: o.CacheLine}
+		}
+		res, err = sim.RunClosedLoopSpec(ctx, spec)
 	} else {
 		res, err = sim.RunContext(ctx, tr)
 	}
@@ -170,10 +213,91 @@ func run(ctx context.Context, out io.Writer, o options) error {
 	if err := printResult(out, res, time.Since(start)); err != nil {
 		return err
 	}
+	if len(res.Tenants) > 0 {
+		if err := printTenants(out, res); err != nil {
+			return err
+		}
+	}
+	if res.WriteCache != nil {
+		if err := printWriteCache(out, res.WriteCache); err != nil {
+			return err
+		}
+	}
 	if o.Dist {
 		return printDistribution(out, sim)
 	}
 	return nil
+}
+
+// parseTenants parses the -tenants list: comma-separated
+// profile[:weight][@phase-ns] items, e.g. "ts0:3,wdev0:1" or
+// "ts0@0,ts0@43200000000000".
+func parseTenants(s string) ([]workload.TenantSpec, error) {
+	var specs []workload.TenantSpec
+	for _, item := range strings.Split(s, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			return nil, fmt.Errorf("empty tenant entry in %q", s)
+		}
+		var spec workload.TenantSpec
+		if at := strings.IndexByte(item, '@'); at >= 0 {
+			ph, err := strconv.ParseInt(item[at+1:], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("tenant %q: bad phase offset: %v", item, err)
+			}
+			spec.PhaseNS = ph
+			item = item[:at]
+		}
+		if c := strings.IndexByte(item, ':'); c >= 0 {
+			w, err := strconv.ParseFloat(item[c+1:], 64)
+			if err != nil {
+				return nil, fmt.Errorf("tenant %q: bad weight: %v", item, err)
+			}
+			spec.Weight = w
+			item = item[:c]
+		}
+		spec.Trace = item
+		specs = append(specs, spec)
+	}
+	return specs, nil
+}
+
+// printTenants renders the per-tenant latency and throughput breakdown of
+// a multi-tenant run.
+func printTenants(out io.Writer, r *core.Result) error {
+	t := metrics.NewTable(fmt.Sprintf("per-tenant results (fairness index %.4f)", r.FairnessIndex),
+		"tenant", "trace", "weight", "slots", "reqs",
+		"p50 read", "p99 read", "p999 read",
+		"p50 write", "p99 write", "p999 write", "req/s")
+	for _, tn := range r.Tenants {
+		t.AddRow(tn.Name, tn.Trace,
+			fmt.Sprintf("%.1f", tn.Weight),
+			fmt.Sprint(tn.DepthSlots),
+			fmt.Sprint(tn.Requests),
+			metrics.FormatDuration(tn.P50ReadLatency),
+			metrics.FormatDuration(tn.P99ReadLatency),
+			metrics.FormatDuration(tn.P999ReadLatency),
+			metrics.FormatDuration(tn.P50WriteLatency),
+			metrics.FormatDuration(tn.P99WriteLatency),
+			metrics.FormatDuration(tn.P999WriteLatency),
+			fmt.Sprintf("%.0f", tn.ThroughputRPS))
+	}
+	return t.Render(out)
+}
+
+// printWriteCache renders the DRAM write-buffer counters.
+func printWriteCache(out io.Writer, st *cache.Stats) error {
+	t := metrics.NewTable("write-cache", "Metric", "Value")
+	t.AddRow("write hits", fmt.Sprint(st.WriteHits))
+	t.AddRow("write misses", fmt.Sprint(st.WriteMisses))
+	t.AddRow("coalesced bytes", fmt.Sprint(st.CoalescedBytes))
+	t.AddRow("read hits", fmt.Sprint(st.ReadHits))
+	t.AddRow("read misses", fmt.Sprint(st.ReadMisses))
+	t.AddRow("evictions", fmt.Sprint(st.Evictions))
+	t.AddRow("read flushes", fmt.Sprint(st.ReadFlushes))
+	t.AddRow("drain flushes", fmt.Sprint(st.DrainFlushes))
+	t.AddRow("flushed bytes", fmt.Sprint(st.FlushedBytes))
+	return t.Render(out)
 }
 
 // printDistribution renders the response-time histogram and CDF — the

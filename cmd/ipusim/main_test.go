@@ -196,6 +196,55 @@ func TestRunClosedLoopFlag(t *testing.T) {
 	}
 }
 
+func TestRunMultiTenantFlag(t *testing.T) {
+	var out strings.Builder
+	o := options{Scheme: "IPU", Scale: 0.002, Seed: 1, QD: 8, Tenants: "ads:3,ads:1", CacheBytes: 1 << 20}
+	if err := run(bg(), &out, o); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"per-tenant results", "fairness index", "p999 read", "write-cache", "coalesced bytes"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("multi-tenant report missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunTenantFlagErrors(t *testing.T) {
+	var out strings.Builder
+	// Tenants and the cache need a closed loop.
+	if err := run(bg(), &out, options{Scheme: "IPU", Scale: 0.002, Seed: 1, Tenants: "ads"}); err == nil {
+		t.Error("-tenants without -qd accepted")
+	}
+	if err := run(bg(), &out, options{Scheme: "IPU", Trace: "ads", Scale: 0.002, Seed: 1, CacheBytes: 1 << 20}); err == nil {
+		t.Error("-cache without -qd accepted")
+	}
+	for _, bad := range []string{"ads:heavy", "ads@soon", "ads,,ads", "nope:1"} {
+		if err := run(bg(), &out, options{Scheme: "IPU", Scale: 0.002, Seed: 1, QD: 4, Tenants: bad}); err == nil {
+			t.Errorf("bad -tenants %q accepted", bad)
+		}
+	}
+}
+
+func TestParseTenants(t *testing.T) {
+	specs, err := parseTenants("ts0:3, wdev0,ads:1.5@7000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 3 {
+		t.Fatalf("parsed %d tenants, want 3", len(specs))
+	}
+	if specs[0].Trace != "ts0" || specs[0].Weight != 3 {
+		t.Errorf("tenant 0: %+v", specs[0])
+	}
+	if specs[1].Trace != "wdev0" || specs[1].Weight != 0 {
+		t.Errorf("tenant 1: %+v", specs[1])
+	}
+	if specs[2].Trace != "ads" || specs[2].Weight != 1.5 || specs[2].PhaseNS != 7000 {
+		t.Errorf("tenant 2: %+v", specs[2])
+	}
+}
+
 func TestRunCheckFlag(t *testing.T) {
 	var out strings.Builder
 	o := options{Scheme: "IPU", Trace: "ads", Scale: 0.001, Seed: 1, Check: "full"}

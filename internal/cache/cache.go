@@ -1,0 +1,350 @@
+// Package cache models a host-side DRAM write buffer in front of the
+// simulated flash device, in the style of the FTL-SIM and ScalaCache
+// front-ends: small writes are absorbed into fixed-size cache lines,
+// repeated sub-page updates to the same line coalesce in DRAM instead of
+// each reaching NAND, and dirty lines are written back only on capacity
+// pressure (LRU eviction), on an overlapping read, or at the final drain.
+//
+// The buffer is purely deterministic: given the same request sequence it
+// makes the same hit/evict/flush decisions and charges the same simulated
+// time, so replays through it are reproducible bit for bit.
+package cache
+
+import (
+	"fmt"
+)
+
+// Backend services the requests the buffer cannot absorb. Both methods
+// take the issue time in simulated nanoseconds and return the completion
+// time; *scheme.Device's schemes and core's simulator satisfy it.
+type Backend interface {
+	Write(now int64, offset int64, size int) int64
+	Read(now int64, offset int64, size int) int64
+}
+
+// Config parameterises one write buffer.
+type Config struct {
+	// CapacityBytes is the DRAM capacity dedicated to dirty lines. Zero
+	// or negative disables the buffer entirely (callers should bypass it).
+	CapacityBytes int64 `json:"capacityBytes,omitempty"`
+	// LineBytes is the cache-line size. Writes are split into line-aligned
+	// segments; a whole line is the write-back unit. Zero means
+	// DefaultLineBytes. Must divide evenly into CapacityBytes-many lines.
+	LineBytes int `json:"lineBytes,omitempty"`
+	// HitNS is the simulated DRAM access time charged for a buffered
+	// write or a read served from the buffer. Zero means DefaultHitNS.
+	HitNS int64 `json:"hitNS,omitempty"`
+}
+
+// DefaultLineBytes is the default cache-line size: 4 KiB, one subpage.
+const DefaultLineBytes = 4096
+
+// DefaultHitNS is the default DRAM access latency: 2 us, the order of a
+// host-DRAM round trip through an NVMe controller, and ~100x faster than
+// an SLC program.
+const DefaultHitNS = 2000
+
+// Normalize returns the config with defaults filled in. It is applied by
+// New, and also by canonicalisers that must agree with New byte for byte.
+func (c Config) Normalize() Config {
+	if c.LineBytes <= 0 {
+		c.LineBytes = DefaultLineBytes
+	}
+	if c.HitNS <= 0 {
+		c.HitNS = DefaultHitNS
+	}
+	return c
+}
+
+// Validate rejects unusable configurations.
+func (c Config) Validate() error {
+	c = c.Normalize()
+	if c.CapacityBytes <= 0 {
+		return fmt.Errorf("cache: capacity %d bytes must be positive", c.CapacityBytes)
+	}
+	if int64(c.LineBytes) > c.CapacityBytes {
+		return fmt.Errorf("cache: line size %d exceeds capacity %d", c.LineBytes, c.CapacityBytes)
+	}
+	return nil
+}
+
+// Stats counts the buffer's traffic. All counters are cumulative.
+type Stats struct {
+	// WriteHits counts line-segments of host writes that landed on a line
+	// already resident (coalesced in DRAM); WriteMisses counts segments
+	// that allocated a new line.
+	WriteHits, WriteMisses int64
+	// CoalescedBytes is the dirty bytes overwritten in place — NAND
+	// traffic the buffer absorbed entirely.
+	CoalescedBytes int64
+	// ReadHits counts host reads served wholly from dirty lines;
+	// ReadMisses counts reads that went to the device.
+	ReadHits, ReadMisses int64
+	// Evictions counts lines written back on capacity pressure;
+	// ReadFlushes counts lines written back because a device-bound read
+	// overlapped them; DrainFlushes counts lines written back by the
+	// final Drain.
+	Evictions, ReadFlushes, DrainFlushes int64
+	// FlushedBytes is the total dirty bytes written back to the device.
+	FlushedBytes int64
+}
+
+// Flushes returns total lines written back, over every cause.
+func (s *Stats) Flushes() int64 { return s.Evictions + s.ReadFlushes + s.DrainFlushes }
+
+// line is one resident dirty cache line. The buffer holds only dirty
+// lines (it is a write buffer, not a read cache): clean data has no
+// reason to occupy DRAM that exists to defer NAND programs.
+type line struct {
+	id int64 // offset / LineBytes
+	// lo and hi bound the dirty byte range within the line; write-back
+	// flushes [lo, hi).
+	lo, hi int
+	// LRU list links; the list is intrusive to keep eviction
+	// allocation-free.
+	prev, next *line
+}
+
+// WriteBuffer is a write-back DRAM buffer in front of a Backend.
+type WriteBuffer struct {
+	cfg     Config
+	backend Backend
+	lines   map[int64]*line
+	// head is most recently used, tail least recently used.
+	head, tail *line
+	// dirtyBytes is the resident dirty total, compared against capacity.
+	dirtyBytes int64
+	// freeList recycles evicted line structs.
+	freeList *line
+	stats    Stats
+}
+
+// New builds a write buffer over backend. The config is validated and
+// normalised.
+func New(cfg Config, backend Backend) (*WriteBuffer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.Normalize()
+	return &WriteBuffer{
+		cfg:     cfg,
+		backend: backend,
+		lines:   make(map[int64]*line, cfg.CapacityBytes/int64(cfg.LineBytes)+1),
+	}, nil
+}
+
+// Stats returns a snapshot of the buffer's counters.
+func (w *WriteBuffer) Stats() Stats { return w.stats }
+
+// DirtyBytes returns the bytes currently buffered and not yet on NAND.
+func (w *WriteBuffer) DirtyBytes() int64 { return w.dirtyBytes }
+
+// unlink removes l from the LRU list.
+func (w *WriteBuffer) unlink(l *line) {
+	if l.prev != nil {
+		l.prev.next = l.next
+	} else {
+		w.head = l.next
+	}
+	if l.next != nil {
+		l.next.prev = l.prev
+	} else {
+		w.tail = l.prev
+	}
+	l.prev, l.next = nil, nil
+}
+
+// touch moves l to the MRU head.
+func (w *WriteBuffer) touch(l *line) {
+	if w.head == l {
+		return
+	}
+	w.unlink(l)
+	l.next = w.head
+	if w.head != nil {
+		w.head.prev = l
+	}
+	w.head = l
+	if w.tail == nil {
+		w.tail = l
+	}
+}
+
+// insert adds a fresh line at the MRU head.
+func (w *WriteBuffer) insert(l *line) {
+	l.next = w.head
+	if w.head != nil {
+		w.head.prev = l
+	}
+	w.head = l
+	if w.tail == nil {
+		w.tail = l
+	}
+	w.lines[l.id] = l
+}
+
+// alloc returns a line struct, recycling evicted ones.
+func (w *WriteBuffer) alloc() *line {
+	if l := w.freeList; l != nil {
+		w.freeList = l.next
+		*l = line{}
+		return l
+	}
+	return &line{}
+}
+
+// drop removes l from the buffer entirely and recycles its storage.
+func (w *WriteBuffer) drop(l *line) {
+	w.unlink(l)
+	delete(w.lines, l.id)
+	w.dirtyBytes -= int64(l.hi - l.lo)
+	l.next = w.freeList
+	w.freeList = l
+}
+
+// flushLine writes l's dirty range back to the device at time now and
+// drops it. It returns the write's completion time.
+func (w *WriteBuffer) flushLine(now int64, l *line) int64 {
+	off := l.id*int64(w.cfg.LineBytes) + int64(l.lo)
+	n := l.hi - l.lo
+	w.stats.FlushedBytes += int64(n)
+	w.drop(l)
+	return w.backend.Write(now, off, n)
+}
+
+// Write services one host write at time now and returns its completion
+// time. Line-aligned segments that land on resident lines coalesce in
+// DRAM; new lines are allocated, and if the dirty total exceeds capacity
+// the least recently used lines are written back synchronously — the
+// flush-on-pressure path — so a full buffer exposes NAND latency to the
+// host, which is exactly the backpressure a closed-loop driver must see.
+func (w *WriteBuffer) Write(now int64, offset int64, size int) int64 {
+	end := now + w.cfg.HitNS
+	lb := int64(w.cfg.LineBytes)
+	for size > 0 {
+		id := offset / lb
+		lo := int(offset - id*lb)
+		n := w.cfg.LineBytes - lo
+		if n > size {
+			n = size
+		}
+		hi := lo + n
+		if l, ok := w.lines[id]; ok {
+			w.stats.WriteHits++
+			// Bytes that were already dirty are overwritten in place:
+			// pure NAND traffic saved.
+			if ov := overlap(l.lo, l.hi, lo, hi); ov > 0 {
+				w.stats.CoalescedBytes += int64(ov)
+			}
+			prev := l.hi - l.lo
+			if lo < l.lo {
+				l.lo = lo
+			}
+			if hi > l.hi {
+				l.hi = hi
+			}
+			w.dirtyBytes += int64((l.hi - l.lo) - prev)
+			w.touch(l)
+		} else {
+			w.stats.WriteMisses++
+			nl := w.alloc()
+			nl.id, nl.lo, nl.hi = id, lo, hi
+			w.insert(nl)
+			w.dirtyBytes += int64(n)
+		}
+		offset += int64(n)
+		size -= n
+	}
+	// Flush-on-pressure: evict LRU lines until the dirty total fits. The
+	// host write completes no earlier than the last eviction it forced.
+	for w.dirtyBytes > w.cfg.CapacityBytes && w.tail != nil {
+		w.stats.Evictions++
+		if e := w.flushLine(now, w.tail); e > end {
+			end = e
+		}
+	}
+	return end
+}
+
+// Read services one host read at time now and returns its completion
+// time. A read wholly covered by resident dirty bytes is served from
+// DRAM. Otherwise the read goes to the device — but any dirty lines it
+// overlaps are written back first, so the device always serves current
+// data (and their latency is charged to this read).
+func (w *WriteBuffer) Read(now int64, offset int64, size int) int64 {
+	lb := int64(w.cfg.LineBytes)
+	first := offset / lb
+	last := (offset + int64(size) - 1) / lb
+	covered := true
+	anyDirty := false
+	for id := first; id <= last; id++ {
+		l, ok := w.lines[id]
+		if !ok {
+			covered = false
+			continue
+		}
+		anyDirty = true
+		segLo := 0
+		if id == first {
+			segLo = int(offset - id*lb)
+		}
+		segHi := w.cfg.LineBytes
+		if id == last {
+			segHi = int(offset + int64(size) - id*lb)
+		}
+		if l.lo > segLo || l.hi < segHi {
+			covered = false
+		}
+	}
+	if covered && anyDirty {
+		w.stats.ReadHits++
+		// Touch in ascending line order (deterministic).
+		for id := first; id <= last; id++ {
+			w.touch(w.lines[id])
+		}
+		return now + w.cfg.HitNS
+	}
+	w.stats.ReadMisses++
+	issue := now
+	for id := first; id <= last; id++ {
+		if l, ok := w.lines[id]; ok {
+			w.stats.ReadFlushes++
+			if e := w.flushLine(now, l); e > issue {
+				issue = e
+			}
+		}
+	}
+	return w.backend.Read(issue, offset, size)
+}
+
+// Drain writes every resident dirty line back to the device at time now,
+// in ascending line-offset LRU order (LRU first, the order pressure would
+// have evicted them), and returns the last completion time. Call it at
+// end of replay so buffered updates are accounted on NAND and the
+// device-side metrics are comparable with an unbuffered run.
+func (w *WriteBuffer) Drain(now int64) int64 {
+	end := now
+	for w.tail != nil {
+		w.stats.DrainFlushes++
+		if e := w.flushLine(now, w.tail); e > end {
+			end = e
+		}
+	}
+	return end
+}
+
+// overlap returns the length of the intersection of [alo, ahi) and
+// [blo, bhi), or 0 when disjoint.
+func overlap(alo, ahi, blo, bhi int) int {
+	lo, hi := alo, ahi
+	if blo > lo {
+		lo = blo
+	}
+	if bhi < hi {
+		hi = bhi
+	}
+	if hi <= lo {
+		return 0
+	}
+	return hi - lo
+}

@@ -1,0 +1,381 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"ipusim/internal/cache"
+	"ipusim/internal/metrics"
+	"ipusim/internal/trace"
+	"ipusim/internal/workload"
+)
+
+// ClosedLoopSpec is the options struct of the closed-loop run API. It
+// replaces the positional RunClosedLoop(tr, depth) signatures: a spec
+// names every knob, so new dimensions (tenants, the write-cache
+// front-end) extend the struct instead of every call site. The zero value
+// of every optional field means "off" / "default".
+type ClosedLoopSpec struct {
+	// Trace is the single-stream workload to replay. Exactly one of
+	// Trace and Tenants must be set.
+	Trace *trace.Trace
+	// Depth bounds outstanding requests (>= 1): request i is not issued
+	// before request i-depth has completed. With Tenants, Depth is split
+	// among them by QoS weight (workload.DepthShares).
+	Depth int
+	// Tenants, when non-empty, replays K tenant streams interleaved onto
+	// the one device: each tenant's synthetic trace is shaped by its spec
+	// (burst re-timing, diurnal phase, partitioned addresses) and gated
+	// by its own share of Depth. Results gain per-tenant percentiles and
+	// a fairness index.
+	Tenants []workload.TenantSpec
+	// WriteCache, when non-nil with positive capacity, puts a host-DRAM
+	// write buffer (internal/cache) between the driver and the device:
+	// sub-page updates coalesce in DRAM and reach NAND only on pressure,
+	// overlap or the final drain. The Result reports its counters.
+	WriteCache *cache.Config
+	// Seed and Scale default tenant trace synthesis (tenant specs may
+	// override per tenant). Zero means the evaluation defaults (42, 0.05).
+	Seed  int64
+	Scale float64
+	// OnProgress overrides the simulator's registered progress callback
+	// for this run; ProgressEvery is its granularity in requests
+	// (non-positive means DefaultProgressEvery).
+	OnProgress    ProgressFunc
+	ProgressEvery int
+}
+
+// DefaultTenantTrace is the profile a tenant without an explicit trace
+// replays.
+const DefaultTenantTrace = "ts0"
+
+// normalize fills the spec's run-level defaults.
+func (spec *ClosedLoopSpec) normalize() {
+	if spec.Seed == 0 {
+		spec.Seed = 42
+	}
+	if spec.Scale == 0 {
+		spec.Scale = 0.05
+	}
+}
+
+// TenantResult is one tenant's share of a multi-tenant closed-loop run:
+// its request counts, latency percentiles and closed-loop throughput.
+type TenantResult struct {
+	// Name and Trace identify the tenant and its workload profile.
+	Name  string
+	Trace string
+	// Weight is the tenant's QoS share; DepthSlots is the number of
+	// closed-loop queue slots that share bought it.
+	Weight     float64
+	DepthSlots int
+	// Requests counts completed requests (Reads + Writes). For a
+	// cancelled run these are the partials completed before the cancel.
+	Requests, Reads, Writes int
+	// Latency percentiles per direction, measured from issue to
+	// completion (the device-facing convention the single-stream metrics
+	// use). P999 is exact when the tenant completed fewer than 1000
+	// requests of that direction (it is then the worst observation).
+	AvgReadLatency, P50ReadLatency, P99ReadLatency, P999ReadLatency     time.Duration
+	AvgWriteLatency, P50WriteLatency, P99WriteLatency, P999WriteLatency time.Duration
+	// MakespanNS spans the tenant's first issue to its last completion;
+	// ThroughputRPS is completed requests per second of that span.
+	MakespanNS    int64
+	ThroughputRPS float64
+}
+
+// tenantAccum accumulates one tenant's statistics during the replay.
+type tenantAccum struct {
+	readLat, writeLat metrics.LatencySummary
+	firstIssue        int64
+	lastEnd           int64
+	issued            bool
+}
+
+// result converts the accumulator into the reported TenantResult.
+func (a *tenantAccum) result(info workload.TenantInfo, slots int) TenantResult {
+	r := TenantResult{
+		Name:       info.Name,
+		Trace:      info.Trace,
+		Weight:     info.Weight,
+		DepthSlots: slots,
+		Reads:      int(a.readLat.Count),
+		Writes:     int(a.writeLat.Count),
+
+		AvgReadLatency:  a.readLat.Mean(),
+		P50ReadLatency:  a.readLat.Percentile(0.50),
+		P99ReadLatency:  a.readLat.Percentile(0.99),
+		P999ReadLatency: a.readLat.Percentile(0.999),
+
+		AvgWriteLatency:  a.writeLat.Mean(),
+		P50WriteLatency:  a.writeLat.Percentile(0.50),
+		P99WriteLatency:  a.writeLat.Percentile(0.99),
+		P999WriteLatency: a.writeLat.Percentile(0.999),
+	}
+	r.Requests = r.Reads + r.Writes
+	if a.issued {
+		r.MakespanNS = a.lastEnd - a.firstIssue
+		if r.MakespanNS <= 0 {
+			r.MakespanNS = 1
+		}
+		r.ThroughputRPS = float64(r.Requests) / (float64(r.MakespanNS) / 1e9)
+	}
+	return r
+}
+
+// RunClosedLoopSpec replays a closed-loop workload described by spec,
+// checking ctx between requests. With neither Tenants nor WriteCache set
+// it is bit-identical to the legacy RunClosedLoop(tr, depth) replay.
+//
+// Multi-tenant runs return per-tenant partial results even when
+// cancelled: the returned Result (alongside ctx's error) carries a
+// TenantResult for every tenant — never a nil or short slice — so a
+// caller tearing down a long run still sees who got how far.
+func (s *Simulator) RunClosedLoopSpec(ctx context.Context, spec ClosedLoopSpec) (*Result, error) {
+	if s.scheme == nil {
+		return nil, ErrReleased
+	}
+	if spec.Depth < 1 {
+		return nil, fmt.Errorf("core: queue depth %d must be at least 1", spec.Depth)
+	}
+	if spec.Trace != nil && len(spec.Tenants) > 0 {
+		return nil, fmt.Errorf("core: spec sets both Trace and Tenants; pick one")
+	}
+	if spec.Trace == nil && len(spec.Tenants) == 0 {
+		return nil, fmt.Errorf("core: spec needs a Trace or at least one tenant")
+	}
+	if spec.WriteCache != nil && spec.WriteCache.CapacityBytes > 0 {
+		if err := spec.WriteCache.Validate(); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
+	spec.normalize()
+
+	// Resolve the progress callback: the spec's own takes precedence,
+	// else the simulator-registered one (the legacy wrappers' path).
+	fn, every := spec.OnProgress, spec.ProgressEvery
+	if fn == nil {
+		fn, every = s.progress, s.progressEvery
+	}
+	if every <= 0 {
+		every = DefaultProgressEvery
+	}
+
+	if len(spec.Tenants) > 0 {
+		return s.runClosedLoopTenants(ctx, spec, fn, every)
+	}
+	return s.runClosedLoopStream(ctx, spec, fn, every)
+}
+
+// frontend returns the write/read entry points of the run: the scheme
+// directly, or a fresh write buffer over it when the spec enables one.
+func (s *Simulator) frontend(spec *ClosedLoopSpec) (
+	write, read func(now int64, offset int64, size int) int64,
+	wb *cache.WriteBuffer, err error,
+) {
+	write, read = s.scheme.Write, s.scheme.Read
+	if spec.WriteCache != nil && spec.WriteCache.CapacityBytes > 0 {
+		wb, err = cache.New(*spec.WriteCache, s.scheme)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("core: %w", err)
+		}
+		write, read = wb.Write, wb.Read
+	}
+	return write, read, wb, nil
+}
+
+// finishWriteCache drains the buffer at the replay's last completion time
+// and snapshots its counters into the result, so buffered updates are
+// accounted on NAND and buffered-vs-raw runs compare like for like.
+func finishWriteCache(res *Result, wb *cache.WriteBuffer, now int64) {
+	if wb == nil || res == nil {
+		return
+	}
+	wb.Drain(now)
+	st := wb.Stats()
+	res.WriteCache = &st
+}
+
+// runClosedLoopStream replays the single-stream closed loop. Without a
+// write buffer this is the legacy RunClosedLoop loop, unchanged — the
+// spec path must be bit-identical to it.
+func (s *Simulator) runClosedLoopStream(ctx context.Context, spec ClosedLoopSpec, fn ProgressFunc, every int) (*Result, error) {
+	tr, depth := spec.Trace, spec.Depth
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	write, read, wb, err := s.frontend(&spec)
+	if err != nil {
+		return nil, err
+	}
+	done := ctx.Done()
+	n := tr.Len()
+	ring := make([]int64, depth)
+	var last int64
+	for i := 0; i < n; i++ {
+		if done != nil {
+			select {
+			case <-done:
+				return nil, ctx.Err()
+			default:
+			}
+		}
+		r := tr.At(i)
+		issue := r.Time
+		if gate := ring[i%depth]; gate > issue {
+			issue = gate
+		}
+		var end int64
+		if r.Op == trace.OpWrite {
+			end = write(issue, r.Offset, r.Size)
+		} else {
+			end = read(issue, r.Offset, r.Size)
+		}
+		ring[i%depth] = end
+		if end > last {
+			last = end
+		}
+		if fn != nil && ((i+1)%every == 0 || i+1 == n) {
+			m := s.scheme.Metrics()
+			fn(Progress{Replayed: i + 1, Total: n, SimTime: end, GCs: m.GCs()})
+		}
+	}
+	if err := s.checkFinal(); err != nil {
+		return nil, err
+	}
+	res := s.Result(tr.Name, n)
+	finishWriteCache(res, wb, last)
+	return res, nil
+}
+
+// traceSource adapts *trace.Trace to workload.RecordSource.
+type traceSource struct{ tr *trace.Trace }
+
+func (s traceSource) Len() int { return s.tr.Len() }
+func (s traceSource) Record(i int) (int64, bool, int64, int) {
+	r := s.tr.At(i)
+	return r.Time, r.Op == trace.OpWrite, r.Offset, r.Size
+}
+
+// buildTenantSchedule synthesises every tenant's trace and merges the
+// shaped streams into one deterministic schedule.
+func (s *Simulator) buildTenantSchedule(spec *ClosedLoopSpec) (*workload.Schedule, []workload.TenantSpec, error) {
+	specs := workload.NormalizeTenants(spec.Tenants, DefaultTenantTrace, spec.Seed, spec.Scale)
+	if err := workload.ValidateTenants(specs); err != nil {
+		return nil, nil, err
+	}
+	sources := make([]workload.RecordSource, len(specs))
+	for i, t := range specs {
+		tr, err := cachedTrace(t.Trace, t.Seed, t.Scale)
+		if err != nil {
+			return nil, nil, err
+		}
+		sources[i] = traceSource{tr}
+	}
+	sched, err := workload.BuildSchedule(specs, sources, s.cfg.Flash.LogicalBytes())
+	if err != nil {
+		return nil, nil, err
+	}
+	return sched, specs, nil
+}
+
+// runClosedLoopTenants replays K tenant streams interleaved onto the
+// device, each gated by its own share of the queue depth.
+func (s *Simulator) runClosedLoopTenants(ctx context.Context, spec ClosedLoopSpec, fn ProgressFunc, every int) (*Result, error) {
+	sched, specs, err := s.buildTenantSchedule(&spec)
+	if err != nil {
+		return nil, err
+	}
+	write, read, wb, err := s.frontend(&spec)
+	if err != nil {
+		return nil, err
+	}
+
+	k := len(specs)
+	weights := make([]float64, k)
+	for i, t := range specs {
+		weights[i] = t.Weight
+	}
+	shares := workload.DepthShares(spec.Depth, weights)
+	rings := make([][]int64, k)
+	counts := make([]int, k)
+	for i, sh := range shares {
+		rings[i] = make([]int64, sh)
+	}
+	accums := make([]tenantAccum, k)
+
+	// finish assembles the Result — for the completed run and for the
+	// cancelled partial alike, so no tenant slice is ever left nil.
+	var lastEnd int64
+	finish := func(completed int) *Result {
+		res := s.Result(sched.Name(), completed)
+		if res == nil {
+			return nil
+		}
+		finishWriteCache(res, wb, lastEnd)
+		res.Tenants = make([]TenantResult, k)
+		completedCounts := make([]int, k)
+		for i := range accums {
+			res.Tenants[i] = accums[i].result(sched.Tenants[i], shares[i])
+			completedCounts[i] = res.Tenants[i].Requests
+		}
+		makespan := lastEnd
+		res.FairnessIndex = metrics.FairnessIndex(
+			workload.WeightedThroughputs(completedCounts, weights, makespan))
+		return res
+	}
+
+	done := ctx.Done()
+	n := sched.Len()
+	for i := 0; i < n; i++ {
+		if done != nil {
+			select {
+			case <-done:
+				// Per-tenant partials: every tenant reports what it
+				// completed before the cancel.
+				return finish(i), ctx.Err()
+			default:
+			}
+		}
+		r := sched.At(i)
+		ti := int(r.Tenant)
+		slot := counts[ti] % shares[ti]
+		issue := r.Time
+		if gate := rings[ti][slot]; gate > issue {
+			issue = gate
+		}
+		var end int64
+		if r.Write {
+			end = write(issue, r.Offset, int(r.Size))
+		} else {
+			end = read(issue, r.Offset, int(r.Size))
+		}
+		rings[ti][slot] = end
+		counts[ti]++
+		a := &accums[ti]
+		if !a.issued {
+			a.firstIssue = issue
+			a.issued = true
+		}
+		if end > a.lastEnd {
+			a.lastEnd = end
+		}
+		if end > lastEnd {
+			lastEnd = end
+		}
+		if r.Write {
+			a.writeLat.Record(end - issue)
+		} else {
+			a.readLat.Record(end - issue)
+		}
+		if fn != nil && ((i+1)%every == 0 || i+1 == n) {
+			m := s.scheme.Metrics()
+			fn(Progress{Replayed: i + 1, Total: n, SimTime: end, GCs: m.GCs()})
+		}
+	}
+	if err := s.checkFinal(); err != nil {
+		return nil, err
+	}
+	return finish(n), nil
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"time"
 
+	"ipusim/internal/cache"
 	"ipusim/internal/check"
 	"ipusim/internal/errmodel"
 	"ipusim/internal/flash"
@@ -270,9 +271,13 @@ func (s *Simulator) checkFinal() error {
 }
 
 // RunClosedLoop replays a trace with a bounded number of outstanding
-// requests. It is RunClosedLoopContext under context.Background().
+// requests. It is RunClosedLoopSpec under context.Background().
+//
+// Deprecated: use RunClosedLoopSpec, which names every option and adds
+// multi-tenant and write-cache dimensions. This positional form is kept
+// as a thin wrapper for existing callers.
 func (s *Simulator) RunClosedLoop(tr *trace.Trace, depth int) (*Result, error) {
-	return s.RunClosedLoopContext(context.Background(), tr, depth)
+	return s.RunClosedLoopSpec(context.Background(), ClosedLoopSpec{Trace: tr, Depth: depth})
 }
 
 // RunClosedLoopContext replays a trace with a bounded number of
@@ -282,47 +287,11 @@ func (s *Simulator) RunClosedLoop(tr *trace.Trace, depth int) (*Result, error) {
 // regardless of completions). Under saturation the closed loop self-paces
 // instead of building unbounded queues, exposing the device's sustainable
 // throughput. Cancellation and progress reporting behave as in RunContext.
+//
+// Deprecated: use RunClosedLoopSpec; this positional form is a thin
+// wrapper over it and replays bit-identically.
 func (s *Simulator) RunClosedLoopContext(ctx context.Context, tr *trace.Trace, depth int) (*Result, error) {
-	if s.scheme == nil {
-		return nil, ErrReleased
-	}
-	if depth < 1 {
-		return nil, fmt.Errorf("core: queue depth %d must be at least 1", depth)
-	}
-	if err := tr.Validate(); err != nil {
-		return nil, err
-	}
-	done := ctx.Done()
-	n := tr.Len()
-	ring := make([]int64, depth)
-	for i := 0; i < n; i++ {
-		if done != nil {
-			select {
-			case <-done:
-				return nil, ctx.Err()
-			default:
-			}
-		}
-		r := tr.At(i)
-		issue := r.Time
-		if gate := ring[i%depth]; gate > issue {
-			issue = gate
-		}
-		var end int64
-		if r.Op == trace.OpWrite {
-			end = s.scheme.Write(issue, r.Offset, r.Size)
-		} else {
-			end = s.scheme.Read(issue, r.Offset, r.Size)
-		}
-		ring[i%depth] = end
-		if s.progress != nil && ((i+1)%s.progressEvery == 0 || i+1 == n) {
-			s.emitProgress(i+1, n, end)
-		}
-	}
-	if err := s.checkFinal(); err != nil {
-		return nil, err
-	}
-	return s.Result(tr.Name, n), nil
+	return s.RunClosedLoopSpec(ctx, ClosedLoopSpec{Trace: tr, Depth: depth})
 }
 
 // Result snapshots the run's statistics. It returns nil after Release.
@@ -460,6 +429,20 @@ type Result struct {
 	SwitchedSubpages    int64
 	SwitchBackReclaims  int64
 	PreemptiveGCs       int64
+
+	// Multi-tenant extensions, populated only by RunClosedLoopSpec runs
+	// with Tenants set. All carry omitempty so legacy single-stream
+	// results marshal byte-identically to before the extension (golden
+	// snapshots and content-addressed job keys depend on that).
+	//
+	// Tenants holds one entry per tenant, in spec order; FairnessIndex is
+	// Jain's index over weight-normalised tenant throughputs (1 = every
+	// tenant got exactly its QoS share).
+	Tenants       []TenantResult `json:",omitempty"`
+	FairnessIndex float64        `json:",omitempty"`
+	// WriteCache reports the DRAM write-buffer counters when the run had
+	// one; nil means the run went straight to the device.
+	WriteCache *cache.Stats `json:",omitempty"`
 }
 
 // WriteAmplification returns total subpage programs per host subpage

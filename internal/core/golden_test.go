@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 	"testing"
 
+	"ipusim/internal/cache"
 	"ipusim/internal/check/golden"
 	"ipusim/internal/trace"
 )
@@ -38,6 +40,40 @@ func TestGoldenMetrics(t *testing.T) {
 		})
 	}
 }
+
+// TestGoldenMultiTenant pins the multi-tenant spec engine: two tenants
+// (ts0 weighted 3, wdev0 bursty) with the write-cache front-end on,
+// replayed through IPU and IPS. The snapshot covers the per-tenant
+// percentile summaries, the fairness index and the write-buffer counters,
+// so any drift in the tenant scheduler, the QoS depth split, the buffer's
+// flush decisions or the percentile math fails here with a line diff.
+func TestGoldenMultiTenant(t *testing.T) {
+	for _, schemeName := range []string{"IPU", "IPS"} {
+		schemeName := schemeName
+		t.Run("mt2-"+schemeName, func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Flash = smallFlash()
+			cfg.Scheme = schemeName
+			sim, err := NewFresh(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec := twoTenantSpec()
+			spec.WriteCache = &cacheConfig4MiB
+			res, err := sim.RunClosedLoopSpec(context.Background(), spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			snap := *res
+			path := filepath.Join("testdata", "golden", fmt.Sprintf("mt2-%s.json", schemeName))
+			golden.Check(t, path, &snap)
+		})
+	}
+}
+
+// cacheConfig4MiB is the golden runs' buffer configuration, shared so the
+// snapshots stay tied to one explicit shape.
+var cacheConfig4MiB = cache.Config{CapacityBytes: 4 << 20}
 
 // TestGoldenNewSchemesAllTraces pins the two cross-paper schemes — IPS and
 // IPU-PGC — across all six synthetic traces, so a drift in the in-place

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"ipusim/internal/cache"
+	"ipusim/internal/flash"
+	"ipusim/internal/metrics"
+	"ipusim/internal/workload"
+)
+
+// TenantMix names one multi-tenant workload composition for the
+// contention study.
+type TenantMix struct {
+	Name    string
+	Tenants []workload.TenantSpec
+}
+
+// DefaultTenantMixes returns the two contention mixes of the evaluation:
+// a weighted latency-sensitive/batch pair, and an equal-share pair where
+// one tenant arrives in tight bursts half a (simulated) day out of phase.
+func DefaultTenantMixes() []TenantMix {
+	return []TenantMix{
+		{
+			Name: "web+batch",
+			Tenants: []workload.TenantSpec{
+				{Name: "web", Trace: "ts0", Weight: 3},
+				{Name: "batch", Trace: "wdev0", Weight: 1},
+			},
+		},
+		{
+			Name: "usr+ads-bursty",
+			Tenants: []workload.TenantSpec{
+				{Name: "usr", Trace: "usr0", Weight: 1},
+				{Name: "ads", Trace: "ads", Weight: 1, BurstLen: 16, BurstSpacingNS: 2_000},
+			},
+		},
+	}
+}
+
+// TenantContentionSpec parameterises the contention study. Zero values
+// take the evaluation defaults.
+type TenantContentionSpec struct {
+	// Mixes are the tenant compositions to contend (default:
+	// DefaultTenantMixes). Schemes are the FTLs to rank (default: the
+	// five-scheme comparison set).
+	Mixes   []TenantMix
+	Schemes []string
+	// Depth is the shared closed-loop queue depth split by QoS weight
+	// (default 16).
+	Depth int
+	// CacheBytes sizes the DRAM write buffer of the buffered arm
+	// (default 4 MiB). Every mix runs twice: buffer off, then on.
+	CacheBytes int64
+	Seed       int64
+	Scale      float64
+	Flash      *flash.Config
+	OnProgress ProgressFunc
+}
+
+// ContentionRow is one (mix, scheme, buffer arm) outcome.
+type ContentionRow struct {
+	Mix      string
+	Scheme   string
+	Buffered bool
+	Result   *Result
+}
+
+// worstTenantP99Read returns the slowest tenant's p99 read latency — the
+// ranking criterion: under contention the scheme that protects its worst
+// tenant wins.
+func worstTenantP99Read(r *Result) time.Duration {
+	var worst time.Duration
+	for _, tn := range r.Tenants {
+		if tn.P99ReadLatency > worst {
+			worst = tn.P99ReadLatency
+		}
+	}
+	return worst
+}
+
+// RunTenantContentionContext replays every (mix, scheme) pair closed-loop
+// under tenant contention, once without and once with the write-cache
+// front-end, serially in deterministic order. Devices come from the
+// snapshot cache and are released back to it.
+func RunTenantContentionContext(ctx context.Context, spec TenantContentionSpec) ([]ContentionRow, error) {
+	if len(spec.Mixes) == 0 {
+		spec.Mixes = DefaultTenantMixes()
+	}
+	if len(spec.Schemes) == 0 {
+		spec.Schemes = append([]string(nil), SchemeNames...)
+	}
+	if spec.Depth <= 0 {
+		spec.Depth = 16
+	}
+	if spec.CacheBytes <= 0 {
+		spec.CacheBytes = 4 << 20
+	}
+	var rows []ContentionRow
+	for _, mix := range spec.Mixes {
+		if len(mix.Tenants) == 0 {
+			return nil, fmt.Errorf("core: tenant mix %q is empty", mix.Name)
+		}
+		for _, buffered := range []bool{false, true} {
+			for _, schemeName := range spec.Schemes {
+				cfg := DefaultConfig()
+				if spec.Flash != nil {
+					cfg.Flash = *spec.Flash
+				}
+				cfg.Scheme = schemeName
+				sim, err := New(cfg)
+				if err != nil {
+					return nil, err
+				}
+				run := ClosedLoopSpec{
+					Depth:      spec.Depth,
+					Tenants:    mix.Tenants,
+					Seed:       spec.Seed,
+					Scale:      spec.Scale,
+					OnProgress: spec.OnProgress,
+				}
+				if buffered {
+					run.WriteCache = &cache.Config{CapacityBytes: spec.CacheBytes}
+				}
+				res, err := sim.RunClosedLoopSpec(ctx, run)
+				if err != nil {
+					if ctx.Err() != nil {
+						sim.Release()
+					}
+					return nil, err
+				}
+				sim.Release()
+				rows = append(rows, ContentionRow{
+					Mix: mix.Name, Scheme: schemeName, Buffered: buffered, Result: res,
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// TenantContention renders the contention study: within each (mix, buffer
+// arm) group the schemes are ranked by their worst tenant's p99 read
+// latency, so the table reads as a leaderboard of QoS protection.
+func TenantContention(rows []ContentionRow) *metrics.Table {
+	t := metrics.NewTable("Tenant contention: scheme ranking under multi-tenant closed loop",
+		"Mix", "Cache", "Rank", "Scheme", "fairness",
+		"worstP99read", "worstP999read", "overall", "coalescedKB", "flushes")
+	type groupKey struct {
+		mix      string
+		buffered bool
+	}
+	groups := make(map[groupKey][]ContentionRow)
+	var order []groupKey
+	for _, row := range rows {
+		k := groupKey{row.Mix, row.Buffered}
+		if _, seen := groups[k]; !seen {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], row)
+	}
+	for _, k := range order {
+		g := groups[k]
+		sort.SliceStable(g, func(i, j int) bool {
+			return worstTenantP99Read(g[i].Result) < worstTenantP99Read(g[j].Result)
+		})
+		arm := "off"
+		if k.buffered {
+			arm = "on"
+		}
+		for rank, row := range g {
+			r := row.Result
+			var worst999 time.Duration
+			for _, tn := range r.Tenants {
+				if tn.P999ReadLatency > worst999 {
+					worst999 = tn.P999ReadLatency
+				}
+			}
+			coalescedKB, flushes := int64(0), int64(0)
+			if r.WriteCache != nil {
+				coalescedKB = r.WriteCache.CoalescedBytes / 1024
+				flushes = r.WriteCache.Flushes()
+			}
+			t.AddRow(row.Mix, arm, fmt.Sprint(rank+1), row.Scheme,
+				fmt.Sprintf("%.4f", r.FairnessIndex),
+				metrics.FormatDuration(worstTenantP99Read(r)),
+				metrics.FormatDuration(worst999),
+				metrics.FormatDuration(r.AvgLatency),
+				fmt.Sprint(coalescedKB),
+				fmt.Sprint(flushes))
+		}
+	}
+	return t
+}

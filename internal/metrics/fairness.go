@@ -1,0 +1,29 @@
+package metrics
+
+// FairnessIndex returns Jain's fairness index over the given allocations
+// (per-tenant throughputs, optionally normalised by QoS weight):
+//
+//	J = (Σx)² / (n · Σx²)
+//
+// J is 1 when every tenant receives an equal share and approaches 1/n as
+// one tenant monopolises the resource. Negative allocations are treated
+// as zero (an allocation cannot be negative; a scheduling bug upstream
+// must not produce an index outside [0, 1]). An empty or all-zero input
+// returns 0, since no resource was allocated to be fair about.
+func FairnessIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		if x < 0 {
+			x = 0
+		}
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}

@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestFairnessIndex(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"all-zero", []float64{0, 0, 0}, 0},
+		{"single", []float64{42}, 1},
+		{"equal-pair", []float64{5, 5}, 1},
+		{"equal-many", []float64{3, 3, 3, 3}, 1},
+		// One tenant monopolises: J -> 1/n.
+		{"monopoly-2", []float64{10, 0}, 0.5},
+		{"monopoly-4", []float64{8, 0, 0, 0}, 0.25},
+		// (1+2)^2 / (2 * (1+4)) = 9/10.
+		{"two-to-one", []float64{1, 2}, 0.9},
+		// (1+1+2)^2 / (3 * (1+1+4)) = 16/18.
+		{"skewed-trio", []float64{1, 1, 2}, 16.0 / 18.0},
+		// Scale invariance: multiplying every share by a constant must not
+		// move the index.
+		{"two-to-one-scaled", []float64{1000, 2000}, 0.9},
+		// Negative allocations clamp to zero rather than inflating J.
+		{"negative-clamped", []float64{-3, 6}, 0.5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := FairnessIndex(tc.xs)
+			if math.Abs(got-tc.want) > 1e-12 {
+				t.Errorf("FairnessIndex(%v) = %v, want %v", tc.xs, got, tc.want)
+			}
+			if got < 0 || got > 1+1e-12 {
+				t.Errorf("FairnessIndex(%v) = %v outside [0, 1]", tc.xs, got)
+			}
+		})
+	}
+}
+
+// TestPercentileTail pins the p999 (and general last-rank) math: whenever
+// ceil(p*Count) lands on the final observation the summary must report the
+// recorded maximum exactly, not a power-of-two bucket midpoint. With fewer
+// than 1000 samples p999 always ranks last, so small multi-tenant runs
+// would otherwise report tail latencies that never happened.
+func TestPercentileTail(t *testing.T) {
+	record := func(vals ...int64) *LatencySummary {
+		var s LatencySummary
+		for _, v := range vals {
+			s.Record(v)
+		}
+		return &s
+	}
+	cases := []struct {
+		name string
+		s    *LatencySummary
+		p    float64
+		want time.Duration
+	}{
+		{"empty", &LatencySummary{}, 0.999, 0},
+		// One sample: every percentile is that sample.
+		{"single-p50", record(700), 0.5, 700},
+		{"single-p999", record(700), 0.999, 700},
+		// ceil(0.999*3) = 3 = Count: the last observation, exactly.
+		{"three-p999", record(100, 200, 300_000), 0.999, 300_000},
+		// ceil(0.999*999) = 999 = Count: still the last observation.
+		{"n999-p999", seqSummary(999), 0.999, 999 * 1000},
+		// p = 1 is the maximum by definition, at any size.
+		{"p100-exact", record(3, 5, 1025), 1.0, 1025},
+		// ceil(0.5*2) = 1 < Count: mid ranks keep the bucket estimate
+		// (1000 lives in [512, 1024), midpoint 768).
+		{"mid-rank-bucketed", record(1000, 5000), 0.5, 768},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.s.Percentile(tc.p); got != tc.want {
+				t.Errorf("Percentile(%v) = %v, want %v", tc.p, got, tc.want)
+			}
+		})
+	}
+
+	// At 1000 samples ceil(0.999*1000) = 999 < Count: the rank falls back
+	// inside the histogram and the estimate is bucketed again, but must
+	// never exceed p100's exact maximum... by more than its bucket width.
+	s := seqSummary(1000)
+	p999, p100 := s.Percentile(0.999), s.Percentile(1)
+	if p100 != time.Duration(1000*1000) {
+		t.Errorf("p100 = %v, want exact max 1ms", p100)
+	}
+	if p999 < p100/2 || p999 > 2*p100 {
+		t.Errorf("p999 = %v implausible against max %v", p999, p100)
+	}
+}
+
+// seqSummary records n latencies 1000, 2000, ..., n*1000 ns.
+func seqSummary(n int) *LatencySummary {
+	var s LatencySummary
+	for i := 1; i <= n; i++ {
+		s.Record(int64(i) * 1000)
+	}
+	return &s
+}

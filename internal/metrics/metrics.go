@@ -54,7 +54,12 @@ func (s *LatencySummary) Mean() time.Duration {
 }
 
 // Percentile estimates the p-quantile (p in [0,1]) from the histogram;
-// the result is exact to within its power-of-two bucket.
+// the result is exact to within its power-of-two bucket. When the rank
+// lands on the last observation — p = 1, or any p high enough that
+// ceil(p*Count) == Count, which is where p999 sits for samples smaller
+// than 1000 — the recorded maximum is returned exactly rather than a
+// bucket midpoint, so small-sample tail percentiles are not inflated past
+// the worst latency actually observed.
 func (s *LatencySummary) Percentile(p float64) time.Duration {
 	if s.Count == 0 {
 		return 0
@@ -68,6 +73,9 @@ func (s *LatencySummary) Percentile(p float64) time.Duration {
 	rank := int64(math.Ceil(p * float64(s.Count)))
 	if rank < 1 {
 		rank = 1
+	}
+	if rank >= s.Count {
+		return time.Duration(s.Max)
 	}
 	var seen int64
 	for b := 0; b < latencyBuckets; b++ {

@@ -7,6 +7,7 @@ import (
 
 	"ipusim/internal/core"
 	"ipusim/internal/trace"
+	"ipusim/internal/workload"
 )
 
 // Content-addressed job identity. The simulator guarantees identical
@@ -38,8 +39,29 @@ func canonicalRequest(req JobRequest, defaultScale float64) JobRequest {
 		if req.Scheme == "" {
 			req.Scheme = "IPU"
 		}
-		if req.Trace == "" {
+		// Schema v3: tenants and the write cache are canonicalised with
+		// every default made explicit — exactly mirroring compileRun and
+		// the core engine — so spelled-out and defaulted submissions share
+		// an address. A v2 request leaves both fields absent, marshals
+		// without them (omitempty), and keeps its v2 key byte for byte.
+		if len(req.Tenants) > 0 {
+			// A multi-tenant run never replays the single-stream trace;
+			// zeroing it keeps `{"tenants":[...]}` and a stray
+			// `{"trace":"ts0","tenants":[...]}` from splitting the cache.
+			req.Trace = ""
+			req.Tenants = workload.NormalizeTenants(req.Tenants, core.DefaultTenantTrace, req.Seed, req.Scale)
+		} else if req.Trace == "" {
 			req.Trace = "ts0"
+		}
+		if req.WriteCache != nil {
+			if req.WriteCache.CapacityBytes <= 0 {
+				// Non-positive capacity means "no buffer": identical to
+				// omitting the field.
+				req.WriteCache = nil
+			} else {
+				wc := req.WriteCache.Normalize()
+				req.WriteCache = &wc
+			}
 		}
 		req.Traces, req.Schemes, req.PEBaselines = nil, nil, nil
 		req.Param, req.ParamValue = "", 0
@@ -52,6 +74,7 @@ func canonicalRequest(req JobRequest, defaultScale float64) JobRequest {
 		}
 		req.Traces, req.Schemes, req.PEBaselines = nil, nil, nil
 		req.QueueDepth = 0
+		req.Tenants, req.WriteCache = nil, nil
 		if req.Param == "" {
 			req.ParamValue = 0
 		}
@@ -67,6 +90,7 @@ func canonicalRequest(req JobRequest, defaultScale float64) JobRequest {
 		}
 		req.Scheme, req.Trace = "", ""
 		req.QueueDepth, req.PEBaseline = 0, 0
+		req.Tenants, req.WriteCache = nil, nil
 		req.Param, req.ParamValue = "", 0
 	case "sensitivity":
 		if len(req.Traces) == 0 {
@@ -78,6 +102,7 @@ func canonicalRequest(req JobRequest, defaultScale float64) JobRequest {
 		req.Scheme, req.Trace = "", ""
 		req.QueueDepth, req.PEBaseline = 0, 0
 		req.PEBaselines = nil
+		req.Tenants, req.WriteCache = nil, nil
 		req.ParamValue = 0
 	}
 	return req

@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"time"
 
+	"ipusim/internal/cache"
 	"ipusim/internal/core"
 	"ipusim/internal/flash"
 	"ipusim/internal/trace"
+	"ipusim/internal/workload"
 )
 
 // JobState is one point of the job lifecycle. Transitions are strictly
@@ -64,6 +66,15 @@ type JobRequest struct {
 	// Shared trace-synthesis parameters.
 	Scale float64 `json:"scale,omitempty"`
 	Seed  int64   `json:"seed,omitempty"`
+
+	// Multi-tenant closed-loop parameters (request schema v3). Tenants
+	// replays K tenant streams interleaved onto one device instead of the
+	// single Trace; WriteCache puts a DRAM write buffer in front of the
+	// device. Both require kind "run" with queueDepth > 0, and both carry
+	// omitempty so v2 submissions (which cannot set them) canonicalise —
+	// and therefore content-address — exactly as before.
+	Tenants    []workload.TenantSpec `json:"tenants,omitempty"`
+	WriteCache *cache.Config         `json:"writeCache,omitempty"`
 
 	// Parallelism sets per-run read-path evaluation workers (0/1 =
 	// serial). It never changes results — metrics are bit-identical either
@@ -167,6 +178,9 @@ func compile(req JobRequest, defaultScale float64) (jobFunc, error) {
 	if req.Parallelism < 0 {
 		return nil, fmt.Errorf("parallelism %d must be >= 0", req.Parallelism)
 	}
+	if req.Kind != "run" && (len(req.Tenants) > 0 || req.WriteCache != nil) {
+		return nil, fmt.Errorf("tenants and writeCache apply only to run jobs, not %q", req.Kind)
+	}
 	switch req.Kind {
 	case "run":
 		return compileRun(req)
@@ -213,25 +227,45 @@ func compileRun(req JobRequest) (jobFunc, error) {
 	if req.Scheme == "" {
 		req.Scheme = "IPU"
 	}
-	if req.Trace == "" {
+	multiTenant := len(req.Tenants) > 0
+	if multiTenant {
+		if req.Trace != "" {
+			return nil, fmt.Errorf("trace and tenants are mutually exclusive (per-tenant traces go in tenants[].trace)")
+		}
+	} else if req.Trace == "" {
 		req.Trace = "ts0"
 	}
 	if err := validateSchemes([]string{req.Scheme}); err != nil {
 		return nil, err
 	}
-	if err := validateTraces([]string{req.Trace}); err != nil {
-		return nil, err
-	}
 	if req.QueueDepth < 0 {
 		return nil, fmt.Errorf("queueDepth %d must be >= 0", req.QueueDepth)
 	}
-	return func(ctx context.Context, report core.ProgressFunc) (any, error) {
-		// The bounded trace cache shares one immutable instance across
-		// concurrent jobs replaying the same workload.
-		tr, err := core.SyntheticTrace(req.Trace, req.Seed, req.Scale)
-		if err != nil {
+	// The v3 extensions ride on the closed-loop engine only: an open-loop
+	// replay has no issue gate for the buffer's backpressure or the
+	// tenants' QoS shares to act on.
+	if (multiTenant || req.WriteCache != nil) && req.QueueDepth <= 0 {
+		return nil, fmt.Errorf("tenants and writeCache require a closed-loop run (queueDepth > 0)")
+	}
+	if multiTenant {
+		tenants := workload.NormalizeTenants(req.Tenants, core.DefaultTenantTrace, req.Seed, req.Scale)
+		if err := workload.ValidateTenants(tenants); err != nil {
 			return nil, err
 		}
+		for _, t := range tenants {
+			if err := validateTraces([]string{t.Trace}); err != nil {
+				return nil, err
+			}
+		}
+	} else if err := validateTraces([]string{req.Trace}); err != nil {
+		return nil, err
+	}
+	if req.WriteCache != nil && req.WriteCache.CapacityBytes > 0 {
+		if err := req.WriteCache.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return func(ctx context.Context, report core.ProgressFunc) (any, error) {
 		cfg := core.DefaultConfig()
 		cfg.Scheme = req.Scheme
 		cfg.Parallelism = req.Parallelism
@@ -245,8 +279,28 @@ func compileRun(req JobRequest) (jobFunc, error) {
 		sim.OnProgress(0, report)
 		var res *core.Result
 		if req.QueueDepth > 0 {
-			res, err = sim.RunClosedLoopContext(ctx, tr, req.QueueDepth)
+			spec := core.ClosedLoopSpec{
+				Depth:      req.QueueDepth,
+				Tenants:    req.Tenants,
+				WriteCache: req.WriteCache,
+				Seed:       req.Seed,
+				Scale:      req.Scale,
+			}
+			if !multiTenant {
+				// The bounded trace cache shares one immutable instance
+				// across concurrent jobs replaying the same workload.
+				spec.Trace, err = core.SyntheticTrace(req.Trace, req.Seed, req.Scale)
+				if err != nil {
+					return nil, err
+				}
+			}
+			res, err = sim.RunClosedLoopSpec(ctx, spec)
 		} else {
+			var tr *trace.Trace
+			tr, err = core.SyntheticTrace(req.Trace, req.Seed, req.Scale)
+			if err != nil {
+				return nil, err
+			}
 			res, err = sim.RunContext(ctx, tr)
 		}
 		if err != nil {

@@ -434,6 +434,78 @@ func TestMatrixJob(t *testing.T) {
 	}
 }
 
+// TestMultiTenantJobEndToEnd submits a schema-v3 run — two tenants plus a
+// write cache — through the HTTP API and asserts the result carries the
+// per-tenant percentiles, the fairness index and the cache counters.
+func TestMultiTenantJobEndToEnd(t *testing.T) {
+	_, ts := newTestService(t, Options{Workers: 1})
+	_, j := postJob(t, ts, `{"kind":"run","queueDepth":16,"scale":0.003,"seed":5,
+		"tenants":[{"name":"web","trace":"ts0","weight":3},{"name":"batch","trace":"wdev0"}],
+		"writeCache":{"capacityBytes":4194304}}`)
+	v := waitState(t, ts, j.ID, func(v JobView) bool { return v.State.Terminal() }, 60*time.Second)
+	if v.State != StateDone {
+		t.Fatalf("state = %s (error %q)", v.State, v.Error)
+	}
+	var out struct {
+		Result struct {
+			Requests int
+			Tenants  []struct {
+				Name            string
+				Requests        int
+				P999ReadLatency int64
+				ThroughputRPS   float64
+			}
+			FairnessIndex float64
+			WriteCache    *struct {
+				WriteHits      int64
+				CoalescedBytes int64
+			}
+		} `json:"result"`
+	}
+	if code := getJSON(t, ts, "/v1/jobs/"+j.ID+"/result", &out); code != http.StatusOK {
+		t.Fatalf("result: HTTP %d", code)
+	}
+	r := out.Result
+	if len(r.Tenants) != 2 || r.Tenants[0].Name != "web" || r.Tenants[1].Name != "batch" {
+		t.Fatalf("tenants %+v", r.Tenants)
+	}
+	if r.Tenants[0].Requests+r.Tenants[1].Requests != r.Requests {
+		t.Fatalf("tenant requests %d+%d != total %d", r.Tenants[0].Requests, r.Tenants[1].Requests, r.Requests)
+	}
+	if r.FairnessIndex <= 0 || r.FairnessIndex > 1 {
+		t.Fatalf("fairness index %v", r.FairnessIndex)
+	}
+	if r.WriteCache == nil || r.WriteCache.WriteHits == 0 {
+		t.Fatalf("write-cache counters missing: %+v", r.WriteCache)
+	}
+	for _, tn := range r.Tenants {
+		if tn.ThroughputRPS <= 0 {
+			t.Fatalf("tenant %s throughput %v", tn.Name, tn.ThroughputRPS)
+		}
+	}
+}
+
+// TestV3FieldValidation asserts the schema-v3 fields are rejected where
+// they make no sense.
+func TestV3FieldValidation(t *testing.T) {
+	_, ts := newTestService(t, Options{Workers: 1})
+	for name, body := range map[string]string{
+		"tenants open-loop":    `{"kind":"run","tenants":[{"name":"a"}]}`,
+		"cache open-loop":      `{"kind":"run","writeCache":{"capacityBytes":1048576}}`,
+		"tenants on matrix":    `{"kind":"matrix","tenants":[{"name":"a"}]}`,
+		"cache on sensitivity": `{"kind":"sensitivity","param":"slcratio","writeCache":{"capacityBytes":1048576}}`,
+		"tenant bad trace":     `{"kind":"run","queueDepth":8,"tenants":[{"trace":"nope"}]}`,
+		"tenant bad weight":    `{"kind":"run","queueDepth":8,"tenants":[{"weight":-2}]}`,
+		"trace plus tenants":   `{"kind":"run","queueDepth":8,"trace":"ts0","tenants":[{"name":"a"}]}`,
+		"bad cache line":       `{"kind":"run","queueDepth":8,"writeCache":{"capacityBytes":1024,"lineBytes":4096}}`,
+	} {
+		resp, _ := postJob(t, ts, body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: HTTP %d, want 400", name, resp.StatusCode)
+		}
+	}
+}
+
 // TestSchemesEndpoint asserts the daemon exposes the scheme registry.
 func TestSchemesEndpoint(t *testing.T) {
 	_, ts := newTestService(t, Options{Workers: 1})
