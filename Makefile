@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race serve serve-test serve-cluster-test bench bench-json bench-baseline bench-check check-schemes check-parallel check-tenants experiments ablation sensitivity fuzz fuzz-parse fuzz-replay golden clean
+.PHONY: all build test vet race serve serve-test serve-cluster-test bench bench-json bench-baseline bench-check check-schemes check-parallel check-tenants check-closedloop experiments ablation sensitivity fuzz fuzz-parse fuzz-replay golden clean
 
 all: build test
 
@@ -72,6 +72,20 @@ check-tenants:
 	  -run 'TestSpecPath|TestMultiTenant|TestWriteCache|TestClosedLoopSpec|TestGoldenMultiTenant' \
 	  ./internal/core
 	$(GO) test -race -count 1 -run 'TestV2JobKeys|TestV3|TestMultiTenantJob' ./internal/server
+
+# The closed-loop fast-path acceptance gate: the slab write cache
+# (eviction-order scripts, the fuzz differential against a map-backed
+# reference, the zero-alloc steady state), the parallel-vs-serial
+# closed-loop bit-identity differential across every scheme and tenant
+# mix, the zero-alloc request loop, the concurrent contention study
+# (concurrent == serial rows, standalone cell == study row, aggregated
+# progress/cancel), and the sharded "contention" job kind — all under
+# the race detector.
+check-closedloop:
+	$(GO) test -race -count 1 \
+	  -run 'TestEvictionOrder|TestSlab|TestWriteCacheSteadyState' ./internal/cache
+	$(GO) test -race -count 1 -run 'TestClosedLoop|TestContention' ./internal/core
+	$(GO) test -race -count 1 -run 'TestContention|TestV4' ./internal/server
 
 # Regenerate every table and figure of the paper (plus the P/E sweep).
 experiments:

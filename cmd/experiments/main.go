@@ -242,11 +242,13 @@ func run(ctx context.Context, out io.Writer, o runOpts) error {
 
 	if o.Tenants {
 		tenSpec := core.TenantContentionSpec{
-			Schemes:    splitList(o.Schemes),
-			Seed:       seed,
-			Scale:      scale,
-			Flash:      &fc,
-			OnProgress: spec.OnProgress,
+			Schemes:     splitList(o.Schemes),
+			Seed:        seed,
+			Scale:       scale,
+			Flash:       &fc,
+			Workers:     o.Workers,
+			Parallelism: o.Parallel,
+			OnProgress:  spec.OnProgress,
 		}
 		rows, err := core.RunTenantContentionContext(ctx, tenSpec)
 		if err != nil {

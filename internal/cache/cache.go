@@ -8,6 +8,15 @@
 // The buffer is purely deterministic: given the same request sequence it
 // makes the same hit/evict/flush decisions and charges the same simulated
 // time, so replays through it are reproducible bit for bit.
+//
+// Storage is a slab: every resident line lives in one contiguous []line
+// array, linked into the LRU list and the free list by int32 slot indices
+// rather than pointers, and found by id through an open-addressed hash
+// index of int32 slots. Once the slab and index have grown to the
+// buffer's working size — capacity plus the largest single write's
+// transient overshoot — the steady-state Write/Read/Drain paths allocate
+// nothing, which is what keeps the closed-loop serving loop at zero
+// allocations per request.
 package cache
 
 import (
@@ -92,44 +101,69 @@ type Stats struct {
 // Flushes returns total lines written back, over every cause.
 func (s *Stats) Flushes() int64 { return s.Evictions + s.ReadFlushes + s.DrainFlushes }
 
-// line is one resident dirty cache line. The buffer holds only dirty
-// lines (it is a write buffer, not a read cache): clean data has no
+// line is one dirty cache line slot of the slab. The buffer holds only
+// dirty lines (it is a write buffer, not a read cache): clean data has no
 // reason to occupy DRAM that exists to defer NAND programs.
 type line struct {
 	id int64 // offset / LineBytes
 	// lo and hi bound the dirty byte range within the line; write-back
 	// flushes [lo, hi).
-	lo, hi int
-	// LRU list links; the list is intrusive to keep eviction
-	// allocation-free.
-	prev, next *line
+	lo, hi int32
+	// LRU list links (slab slot indices, nilSlot when absent); the list
+	// is intrusive to keep eviction allocation-free. A free slot reuses
+	// next as its free-list link.
+	prev, next int32
 }
+
+// nilSlot terminates the intrusive lists.
+const nilSlot = int32(-1)
 
 // WriteBuffer is a write-back DRAM buffer in front of a Backend.
 type WriteBuffer struct {
 	cfg     Config
 	backend Backend
-	lines   map[int64]*line
+	// slab holds every line ever allocated; resident and free slots are
+	// distinguished by which intrusive list they are on. Growing appends
+	// (indices stay stable); slots are never returned to the Go heap.
+	slab []line
+	// free heads the recycled-slot list, linked through next.
+	free int32
 	// head is most recently used, tail least recently used.
-	head, tail *line
+	head, tail int32
+	// idx is the open-addressed hash index from line id to slab slot:
+	// idx[i] holds slot+1, zero meaning empty. Linear probing with
+	// backward-shift deletion; grown at 3/4 load.
+	idx  []int32
+	mask uint64
+	// used counts resident lines (the idx population).
+	used int
 	// dirtyBytes is the resident dirty total, compared against capacity.
 	dirtyBytes int64
-	// freeList recycles evicted line structs.
-	freeList *line
-	stats    Stats
+	stats      Stats
 }
 
 // New builds a write buffer over backend. The config is validated and
-// normalised.
+// normalised. The slab and index are pre-sized for the full capacity so
+// the steady state never grows them.
 func New(cfg Config, backend Backend) (*WriteBuffer, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	cfg = cfg.Normalize()
+	capLines := int(cfg.CapacityBytes/int64(cfg.LineBytes)) + 1
+	idxSize := 16
+	for idxSize < 2*capLines {
+		idxSize *= 2
+	}
 	return &WriteBuffer{
 		cfg:     cfg,
 		backend: backend,
-		lines:   make(map[int64]*line, cfg.CapacityBytes/int64(cfg.LineBytes)+1),
+		slab:    make([]line, 0, capLines),
+		free:    nilSlot,
+		head:    nilSlot,
+		tail:    nilSlot,
+		idx:     make([]int32, idxSize),
+		mask:    uint64(idxSize - 1),
 	}, nil
 }
 
@@ -139,76 +173,167 @@ func (w *WriteBuffer) Stats() Stats { return w.stats }
 // DirtyBytes returns the bytes currently buffered and not yet on NAND.
 func (w *WriteBuffer) DirtyBytes() int64 { return w.dirtyBytes }
 
-// unlink removes l from the LRU list.
-func (w *WriteBuffer) unlink(l *line) {
-	if l.prev != nil {
-		l.prev.next = l.next
+// Lines returns the resident dirty-line count.
+func (w *WriteBuffer) Lines() int { return w.used }
+
+// lineHash spreads line ids over the index (Fibonacci multiplicative
+// hashing with a high-bit fold; ids are sequential per workload region,
+// which a plain mask would cluster).
+func lineHash(id int64) uint64 {
+	h := uint64(id) * 0x9E3779B97F4A7C15
+	return h ^ h>>29
+}
+
+// lookup returns the slab slot holding id, or nilSlot.
+func (w *WriteBuffer) lookup(id int64) int32 {
+	for i := lineHash(id) & w.mask; ; i = (i + 1) & w.mask {
+		s := w.idx[i]
+		if s == 0 {
+			return nilSlot
+		}
+		if w.slab[s-1].id == id {
+			return s - 1
+		}
+	}
+}
+
+// idxInsert places an already-filled slot into the index. The caller has
+// ensured capacity (insert grows at 3/4 load before calling).
+func (w *WriteBuffer) idxInsert(slot int32) {
+	for i := lineHash(w.slab[slot].id) & w.mask; ; i = (i + 1) & w.mask {
+		if w.idx[i] == 0 {
+			w.idx[i] = slot + 1
+			return
+		}
+	}
+}
+
+// idxDelete removes id from the index, backward-shifting the rest of its
+// probe cluster so later lookups never cross a stale hole (linear-probing
+// deletion without tombstones).
+func (w *WriteBuffer) idxDelete(id int64) {
+	i := lineHash(id) & w.mask
+	for ; ; i = (i + 1) & w.mask {
+		s := w.idx[i]
+		if s == 0 {
+			return
+		}
+		if w.slab[s-1].id == id {
+			break
+		}
+	}
+	j := i
+	for {
+		j = (j + 1) & w.mask
+		s := w.idx[j]
+		if s == 0 {
+			break
+		}
+		// The entry at j probes from its home slot k; it may fill the
+		// hole at i only if i lies within its probe path [k, j].
+		k := lineHash(w.slab[s-1].id) & w.mask
+		if (j-k)&w.mask >= (j-i)&w.mask {
+			w.idx[i] = s
+			i = j
+		}
+	}
+	w.idx[i] = 0
+}
+
+// growIdx doubles the index and re-places every resident slot. Only the
+// warm-up phase reaches it; a steady-state buffer stays at its grown size.
+func (w *WriteBuffer) growIdx() {
+	old := w.idx
+	w.idx = make([]int32, 2*len(old))
+	w.mask = uint64(len(w.idx) - 1)
+	for _, s := range old {
+		if s != 0 {
+			w.idxInsert(s - 1)
+		}
+	}
+}
+
+// unlink removes slot s from the LRU list.
+func (w *WriteBuffer) unlink(s int32) {
+	l := &w.slab[s]
+	if l.prev != nilSlot {
+		w.slab[l.prev].next = l.next
 	} else {
 		w.head = l.next
 	}
-	if l.next != nil {
-		l.next.prev = l.prev
+	if l.next != nilSlot {
+		w.slab[l.next].prev = l.prev
 	} else {
 		w.tail = l.prev
 	}
-	l.prev, l.next = nil, nil
+	l.prev, l.next = nilSlot, nilSlot
 }
 
-// touch moves l to the MRU head.
-func (w *WriteBuffer) touch(l *line) {
-	if w.head == l {
+// touch moves slot s to the MRU head.
+func (w *WriteBuffer) touch(s int32) {
+	if w.head == s {
 		return
 	}
-	w.unlink(l)
+	w.unlink(s)
+	l := &w.slab[s]
 	l.next = w.head
-	if w.head != nil {
-		w.head.prev = l
+	if w.head != nilSlot {
+		w.slab[w.head].prev = s
 	}
-	w.head = l
-	if w.tail == nil {
-		w.tail = l
+	w.head = s
+	if w.tail == nilSlot {
+		w.tail = s
 	}
 }
 
-// insert adds a fresh line at the MRU head.
-func (w *WriteBuffer) insert(l *line) {
+// insert adds a fresh slot at the MRU head and indexes it.
+func (w *WriteBuffer) insert(s int32) {
+	l := &w.slab[s]
 	l.next = w.head
-	if w.head != nil {
-		w.head.prev = l
+	if w.head != nilSlot {
+		w.slab[w.head].prev = s
 	}
-	w.head = l
-	if w.tail == nil {
-		w.tail = l
+	w.head = s
+	if w.tail == nilSlot {
+		w.tail = s
 	}
-	w.lines[l.id] = l
+	if (w.used+1)*4 > len(w.idx)*3 {
+		w.growIdx()
+	}
+	w.idxInsert(s)
+	w.used++
 }
 
-// alloc returns a line struct, recycling evicted ones.
-func (w *WriteBuffer) alloc() *line {
-	if l := w.freeList; l != nil {
-		w.freeList = l.next
-		*l = line{}
-		return l
+// alloc returns a free slab slot, recycling dropped ones before growing.
+func (w *WriteBuffer) alloc() int32 {
+	if s := w.free; s != nilSlot {
+		w.free = w.slab[s].next
+		w.slab[s] = line{prev: nilSlot, next: nilSlot}
+		return s
 	}
-	return &line{}
+	w.slab = append(w.slab, line{prev: nilSlot, next: nilSlot})
+	return int32(len(w.slab) - 1)
 }
 
-// drop removes l from the buffer entirely and recycles its storage.
-func (w *WriteBuffer) drop(l *line) {
-	w.unlink(l)
-	delete(w.lines, l.id)
+// drop removes slot s from the buffer entirely and recycles its storage.
+func (w *WriteBuffer) drop(s int32) {
+	w.unlink(s)
+	l := &w.slab[s]
+	w.idxDelete(l.id)
+	w.used--
 	w.dirtyBytes -= int64(l.hi - l.lo)
-	l.next = w.freeList
-	w.freeList = l
+	l.next = w.free
+	w.free = s
 }
 
-// flushLine writes l's dirty range back to the device at time now and
-// drops it. It returns the write's completion time.
-func (w *WriteBuffer) flushLine(now int64, l *line) int64 {
+// flushLine writes slot s's dirty range back to the device at time now
+// and drops it. It returns the write's completion time.
+func (w *WriteBuffer) flushLine(now int64, s int32) int64 {
+	l := &w.slab[s]
 	off := l.id*int64(w.cfg.LineBytes) + int64(l.lo)
-	n := l.hi - l.lo
+	n := int(l.hi - l.lo)
 	w.stats.FlushedBytes += int64(n)
-	w.drop(l)
+	w.drop(s)
 	return w.backend.Write(now, off, n)
 }
 
@@ -223,13 +348,14 @@ func (w *WriteBuffer) Write(now int64, offset int64, size int) int64 {
 	lb := int64(w.cfg.LineBytes)
 	for size > 0 {
 		id := offset / lb
-		lo := int(offset - id*lb)
-		n := w.cfg.LineBytes - lo
-		if n > size {
-			n = size
+		lo := int32(offset - id*lb)
+		n := int32(w.cfg.LineBytes) - lo
+		if int(n) > size {
+			n = int32(size)
 		}
 		hi := lo + n
-		if l, ok := w.lines[id]; ok {
+		if s := w.lookup(id); s != nilSlot {
+			l := &w.slab[s]
 			w.stats.WriteHits++
 			// Bytes that were already dirty are overwritten in place:
 			// pure NAND traffic saved.
@@ -244,20 +370,21 @@ func (w *WriteBuffer) Write(now int64, offset int64, size int) int64 {
 				l.hi = hi
 			}
 			w.dirtyBytes += int64((l.hi - l.lo) - prev)
-			w.touch(l)
+			w.touch(s)
 		} else {
 			w.stats.WriteMisses++
-			nl := w.alloc()
+			ns := w.alloc()
+			nl := &w.slab[ns]
 			nl.id, nl.lo, nl.hi = id, lo, hi
-			w.insert(nl)
+			w.insert(ns)
 			w.dirtyBytes += int64(n)
 		}
 		offset += int64(n)
-		size -= n
+		size -= int(n)
 	}
 	// Flush-on-pressure: evict LRU lines until the dirty total fits. The
 	// host write completes no earlier than the last eviction it forced.
-	for w.dirtyBytes > w.cfg.CapacityBytes && w.tail != nil {
+	for w.dirtyBytes > w.cfg.CapacityBytes && w.tail != nilSlot {
 		w.stats.Evictions++
 		if e := w.flushLine(now, w.tail); e > end {
 			end = e
@@ -278,20 +405,21 @@ func (w *WriteBuffer) Read(now int64, offset int64, size int) int64 {
 	covered := true
 	anyDirty := false
 	for id := first; id <= last; id++ {
-		l, ok := w.lines[id]
-		if !ok {
+		s := w.lookup(id)
+		if s == nilSlot {
 			covered = false
 			continue
 		}
 		anyDirty = true
-		segLo := 0
+		segLo := int32(0)
 		if id == first {
-			segLo = int(offset - id*lb)
+			segLo = int32(offset - id*lb)
 		}
-		segHi := w.cfg.LineBytes
+		segHi := int32(w.cfg.LineBytes)
 		if id == last {
-			segHi = int(offset + int64(size) - id*lb)
+			segHi = int32(offset + int64(size) - id*lb)
 		}
+		l := &w.slab[s]
 		if l.lo > segLo || l.hi < segHi {
 			covered = false
 		}
@@ -300,16 +428,16 @@ func (w *WriteBuffer) Read(now int64, offset int64, size int) int64 {
 		w.stats.ReadHits++
 		// Touch in ascending line order (deterministic).
 		for id := first; id <= last; id++ {
-			w.touch(w.lines[id])
+			w.touch(w.lookup(id))
 		}
 		return now + w.cfg.HitNS
 	}
 	w.stats.ReadMisses++
 	issue := now
 	for id := first; id <= last; id++ {
-		if l, ok := w.lines[id]; ok {
+		if s := w.lookup(id); s != nilSlot {
 			w.stats.ReadFlushes++
-			if e := w.flushLine(now, l); e > issue {
+			if e := w.flushLine(now, s); e > issue {
 				issue = e
 			}
 		}
@@ -318,13 +446,13 @@ func (w *WriteBuffer) Read(now int64, offset int64, size int) int64 {
 }
 
 // Drain writes every resident dirty line back to the device at time now,
-// in ascending line-offset LRU order (LRU first, the order pressure would
-// have evicted them), and returns the last completion time. Call it at
-// end of replay so buffered updates are accounted on NAND and the
-// device-side metrics are comparable with an unbuffered run.
+// in LRU order (the order pressure would have evicted them), and returns
+// the last completion time. Call it at end of replay so buffered updates
+// are accounted on NAND and the device-side metrics are comparable with
+// an unbuffered run.
 func (w *WriteBuffer) Drain(now int64) int64 {
 	end := now
-	for w.tail != nil {
+	for w.tail != nilSlot {
 		w.stats.DrainFlushes++
 		if e := w.flushLine(now, w.tail); e > end {
 			end = e
@@ -335,7 +463,7 @@ func (w *WriteBuffer) Drain(now int64) int64 {
 
 // overlap returns the length of the intersection of [alo, ahi) and
 // [blo, bhi), or 0 when disjoint.
-func overlap(alo, ahi, blo, bhi int) int {
+func overlap(alo, ahi, blo, bhi int32) int32 {
 	lo, hi := alo, ahi
 	if blo > lo {
 		lo = blo

@@ -1,0 +1,405 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// --- map-backed reference implementation -------------------------------
+//
+// refBuffer is the pre-slab WriteBuffer: a map[int64]*refLine with a
+// pointer-linked LRU list. It is kept here, in the test file only, as the
+// behavioural oracle for the slab rewrite: the differential tests below
+// drive both implementations with identical request streams and require
+// identical completion times, stats, and backend traffic.
+
+type refLine struct {
+	id         int64
+	lo, hi     int
+	prev, next *refLine
+}
+
+type refBuffer struct {
+	cfg        Config
+	backend    Backend
+	lines      map[int64]*refLine
+	head, tail *refLine
+	dirtyBytes int64
+	stats      Stats
+}
+
+func newRef(cfg Config, backend Backend) *refBuffer {
+	return &refBuffer{cfg: cfg.Normalize(), backend: backend, lines: make(map[int64]*refLine)}
+}
+
+func (w *refBuffer) unlink(l *refLine) {
+	if l.prev != nil {
+		l.prev.next = l.next
+	} else {
+		w.head = l.next
+	}
+	if l.next != nil {
+		l.next.prev = l.prev
+	} else {
+		w.tail = l.prev
+	}
+	l.prev, l.next = nil, nil
+}
+
+func (w *refBuffer) pushHead(l *refLine) {
+	l.next = w.head
+	if w.head != nil {
+		w.head.prev = l
+	}
+	w.head = l
+	if w.tail == nil {
+		w.tail = l
+	}
+}
+
+func (w *refBuffer) touch(l *refLine) {
+	if w.head == l {
+		return
+	}
+	w.unlink(l)
+	w.pushHead(l)
+}
+
+func (w *refBuffer) drop(l *refLine) {
+	w.unlink(l)
+	delete(w.lines, l.id)
+	w.dirtyBytes -= int64(l.hi - l.lo)
+}
+
+func (w *refBuffer) flushLine(now int64, l *refLine) int64 {
+	off := l.id*int64(w.cfg.LineBytes) + int64(l.lo)
+	n := l.hi - l.lo
+	w.stats.FlushedBytes += int64(n)
+	w.drop(l)
+	return w.backend.Write(now, off, n)
+}
+
+func (w *refBuffer) Write(now int64, offset int64, size int) int64 {
+	end := now + w.cfg.HitNS
+	lb := int64(w.cfg.LineBytes)
+	for size > 0 {
+		id := offset / lb
+		lo := int(offset - id*lb)
+		n := w.cfg.LineBytes - lo
+		if n > size {
+			n = size
+		}
+		hi := lo + n
+		if l, ok := w.lines[id]; ok {
+			w.stats.WriteHits++
+			if ov := overlap(int32(l.lo), int32(l.hi), int32(lo), int32(hi)); ov > 0 {
+				w.stats.CoalescedBytes += int64(ov)
+			}
+			prev := l.hi - l.lo
+			if lo < l.lo {
+				l.lo = lo
+			}
+			if hi > l.hi {
+				l.hi = hi
+			}
+			w.dirtyBytes += int64((l.hi - l.lo) - prev)
+			w.touch(l)
+		} else {
+			w.stats.WriteMisses++
+			nl := &refLine{id: id, lo: lo, hi: hi}
+			w.lines[id] = nl
+			w.pushHead(nl)
+			w.dirtyBytes += int64(n)
+		}
+		offset += int64(n)
+		size -= n
+	}
+	for w.dirtyBytes > w.cfg.CapacityBytes && w.tail != nil {
+		w.stats.Evictions++
+		if e := w.flushLine(now, w.tail); e > end {
+			end = e
+		}
+	}
+	return end
+}
+
+func (w *refBuffer) Read(now int64, offset int64, size int) int64 {
+	lb := int64(w.cfg.LineBytes)
+	first := offset / lb
+	last := (offset + int64(size) - 1) / lb
+	covered := true
+	anyDirty := false
+	for id := first; id <= last; id++ {
+		l, ok := w.lines[id]
+		if !ok {
+			covered = false
+			continue
+		}
+		anyDirty = true
+		segLo := 0
+		if id == first {
+			segLo = int(offset - id*lb)
+		}
+		segHi := w.cfg.LineBytes
+		if id == last {
+			segHi = int(offset + int64(size) - id*lb)
+		}
+		if l.lo > segLo || l.hi < segHi {
+			covered = false
+		}
+	}
+	if covered && anyDirty {
+		w.stats.ReadHits++
+		for id := first; id <= last; id++ {
+			w.touch(w.lines[id])
+		}
+		return now + w.cfg.HitNS
+	}
+	w.stats.ReadMisses++
+	issue := now
+	for id := first; id <= last; id++ {
+		if l, ok := w.lines[id]; ok {
+			w.stats.ReadFlushes++
+			if e := w.flushLine(now, l); e > issue {
+				issue = e
+			}
+		}
+	}
+	return w.backend.Read(issue, offset, size)
+}
+
+func (w *refBuffer) Drain(now int64) int64 {
+	end := now
+	for w.tail != nil {
+		w.stats.DrainFlushes++
+		if e := w.flushLine(now, w.tail); e > end {
+			end = e
+		}
+	}
+	return end
+}
+
+// --- eviction-order table test -----------------------------------------
+
+// TestEvictionOrderSequences drives the slab buffer through scripted
+// write/read sequences and asserts the exact order lines reach the
+// backend — the LRU discipline the slab's intrusive lists must preserve.
+func TestEvictionOrderSequences(t *testing.T) {
+	const ln = 4096
+	wr := func(id int64) func(*WriteBuffer) { // full-line write
+		return func(w *WriteBuffer) { w.Write(0, id*ln, ln) }
+	}
+	touch := func(id int64) func(*WriteBuffer) { // sub-line rewrite, moves to MRU
+		return func(w *WriteBuffer) { w.Write(0, id*ln, 64) }
+	}
+	rd := func(id int64) func(*WriteBuffer) { // covered read, also moves to MRU
+		return func(w *WriteBuffer) { w.Read(0, id*ln, ln) }
+	}
+	drain := func(w *WriteBuffer) { w.Drain(0) }
+
+	cases := []struct {
+		name     string
+		capLines int64
+		ops      []func(*WriteBuffer)
+		want     []int64 // backend write offsets / ln, in order
+	}{
+		{
+			name:     "fifo-when-untouched",
+			capLines: 3,
+			ops:      []func(*WriteBuffer){wr(0), wr(1), wr(2), wr(3), wr(4)},
+			want:     []int64{0, 1},
+		},
+		{
+			name:     "rewrite-moves-to-mru",
+			capLines: 3,
+			ops:      []func(*WriteBuffer){wr(0), wr(1), wr(2), touch(0), wr(3)},
+			want:     []int64{1},
+		},
+		{
+			name:     "covered-read-moves-to-mru",
+			capLines: 3,
+			ops:      []func(*WriteBuffer){wr(0), wr(1), wr(2), rd(0), rd(1), wr(3)},
+			want:     []int64{2},
+		},
+		{
+			name:     "drain-flushes-lru-first",
+			capLines: 4,
+			ops:      []func(*WriteBuffer){wr(5), wr(2), wr(9), touch(5), drain},
+			want:     []int64{2, 9, 5},
+		},
+		{
+			name:     "reinserted-line-is-young-again",
+			capLines: 2,
+			ops:      []func(*WriteBuffer){wr(0), wr(1), wr(2) /* evicts 0 */, wr(0) /* evicts 1 */, drain},
+			want:     []int64{0, 1, 2, 0},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			be := &recordingBackend{}
+			w, err := New(Config{CapacityBytes: tc.capLines * ln, LineBytes: ln}, be)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, op := range tc.ops {
+				op(w)
+			}
+			var got []int64
+			for _, r := range be.writes {
+				got = append(got, r.offset/ln)
+			}
+			if len(got) != len(tc.want) {
+				t.Fatalf("backend saw lines %v, want %v", got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("backend saw lines %v, want %v", got, tc.want)
+				}
+			}
+		})
+	}
+}
+
+// --- randomized differential test --------------------------------------
+
+// TestSlabMatchesMapReference feeds identical pseudo-random request
+// streams to the slab buffer and the map-backed reference and requires
+// bit-identical completion times, stats, and backend traffic. Several
+// capacity/line geometries exercise growth, heavy eviction, and the
+// multi-line read paths.
+func TestSlabMatchesMapReference(t *testing.T) {
+	geoms := []struct {
+		name     string
+		capacity int64
+		line     int
+		span     int64 // address range of the workload
+		ops      int
+	}{
+		{"tiny-hot", 4 * 1024, 1024, 16 * 1024, 6000},
+		{"mid", 64 * 1024, 4096, 512 * 1024, 8000},
+		{"line-512", 32 * 1024, 512, 128 * 1024, 8000},
+		{"large-cold", 256 * 1024, 4096, 8 << 20, 6000},
+	}
+	for _, g := range geoms {
+		t.Run(g.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(len(g.name)) * 7919))
+			cfg := Config{CapacityBytes: g.capacity, LineBytes: g.line}
+			slabBE, refBE := &recordingBackend{}, &recordingBackend{}
+			slab, err := New(cfg, slabBE)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref := newRef(cfg, refBE)
+			now := int64(0)
+			for i := 0; i < g.ops; i++ {
+				off := rng.Int63n(g.span)
+				size := 1 + rng.Intn(3*g.line) // spans up to 4 lines
+				var se, re int64
+				if rng.Intn(4) == 0 {
+					se = slab.Read(now, off, size)
+					re = ref.Read(now, off, size)
+				} else {
+					se = slab.Write(now, off, size)
+					re = ref.Write(now, off, size)
+				}
+				if se != re {
+					t.Fatalf("op %d: slab end %d, ref end %d", i, se, re)
+				}
+				now = se
+				if slab.DirtyBytes() != ref.dirtyBytes {
+					t.Fatalf("op %d: dirty %d vs %d", i, slab.DirtyBytes(), ref.dirtyBytes)
+				}
+				if i%1000 == 999 { // periodic mid-stream drain
+					if de, re := slab.Drain(now), ref.Drain(now); de != re {
+						t.Fatalf("op %d: drain end %d vs %d", i, de, re)
+					}
+				}
+			}
+			if de, re := slab.Drain(now), ref.Drain(now); de != re {
+				t.Fatalf("final drain end %d vs %d", de, re)
+			}
+			if slab.Stats() != ref.stats {
+				t.Fatalf("stats diverged:\nslab %+v\nref  %+v", slab.Stats(), ref.stats)
+			}
+			if len(slabBE.writes) != len(refBE.writes) || len(slabBE.reads) != len(refBE.reads) {
+				t.Fatalf("traffic count diverged: %d/%d writes, %d/%d reads",
+					len(slabBE.writes), len(refBE.writes), len(slabBE.reads), len(refBE.reads))
+			}
+			for i := range slabBE.writes {
+				if slabBE.writes[i] != refBE.writes[i] {
+					t.Fatalf("backend write %d diverged: %+v vs %+v", i, slabBE.writes[i], refBE.writes[i])
+				}
+			}
+			for i := range slabBE.reads {
+				if slabBE.reads[i] != refBE.reads[i] {
+					t.Fatalf("backend read %d diverged: %+v vs %+v", i, slabBE.reads[i], refBE.reads[i])
+				}
+			}
+			if slab.Lines() != 0 || slab.DirtyBytes() != 0 {
+				t.Fatalf("slab not empty after drain: %d lines, %d dirty", slab.Lines(), slab.DirtyBytes())
+			}
+		})
+	}
+}
+
+// --- steady-state allocation bound --------------------------------------
+
+// flatBackend is the cheapest possible backend: fixed latencies, no
+// recording, so allocation measurements see only the buffer itself.
+type flatBackend struct{}
+
+func (flatBackend) Write(now int64, offset int64, size int) int64 { return now + devWriteNS }
+func (flatBackend) Read(now int64, offset int64, size int) int64  { return now + devReadNS }
+
+// steadyOps drives one deterministic LCG mix of writes and reads that
+// forces hits, misses, evictions, and read flushes.
+func steadyOps(w *WriteBuffer, ops int, seed uint64) {
+	now := int64(0)
+	x := seed
+	for i := 0; i < ops; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		off := int64(x>>33) % (512 * 1024)
+		size := 256 + int(x%15)*512
+		if x%6 == 0 {
+			now = w.Read(now, off, size)
+		} else {
+			now = w.Write(now, off, size)
+		}
+	}
+}
+
+// TestWriteCacheSteadyStateZeroAllocs pins the tentpole property: once
+// the slab and index are warm, the Write/Read/Drain request paths
+// allocate nothing.
+func TestWriteCacheSteadyStateZeroAllocs(t *testing.T) {
+	w, err := New(Config{CapacityBytes: 64 * 1024, LineBytes: 4096}, flatBackend{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	steadyOps(w, 20000, 99) // warm the slab and index past their final size
+	w.Drain(0)
+	if avg := testing.AllocsPerRun(200, func() {
+		steadyOps(w, 50, 7)
+		w.Drain(0)
+	}); avg != 0 {
+		t.Fatalf("steady-state write cache allocates %.2f/run, want 0", avg)
+	}
+}
+
+// BenchmarkWriteCacheSteadyState measures the warm request path; the
+// allocation report is the regression guard for the slab design.
+func BenchmarkWriteCacheSteadyState(b *testing.B) {
+	w, err := New(Config{CapacityBytes: 64 * 1024, LineBytes: 4096}, flatBackend{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	steadyOps(w, 20000, 99)
+	w.Drain(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		steadyOps(w, 100, uint64(i)|1)
+	}
+	b.StopTimer()
+	w.Drain(0)
+}

@@ -3,10 +3,12 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 	"time"
 
 	"ipusim/internal/cache"
 	"ipusim/internal/metrics"
+	"ipusim/internal/scheme"
 	"ipusim/internal/trace"
 	"ipusim/internal/workload"
 )
@@ -125,8 +127,19 @@ func (a *tenantAccum) result(info workload.TenantInfo, slots int) TenantResult {
 }
 
 // RunClosedLoopSpec replays a closed-loop workload described by spec,
-// checking ctx between requests. With neither Tenants nor WriteCache set
-// it is bit-identical to the legacy RunClosedLoop(tr, depth) replay.
+// checking ctx periodically (every few dozen requests, and immediately
+// after every progress callback — so a callback that cancels stops the
+// replay at exactly that request). With neither Tenants nor WriteCache
+// set, and Parallelism off, it is bit-identical to the legacy
+// RunClosedLoop(tr, depth) replay.
+//
+// When the simulator's Config.Parallelism exceeds 1, per-request BER/ECC
+// read evaluation runs on the intra-run pipeline's workers: reads
+// dispatch in issue order on the replay thread (all device state
+// mutation stays there) and their completion times land at commit, in
+// dispatch order. A queue-depth gate waiting on an unresolved read forces
+// exactly the pending commits it needs. The replay is bit-identical to
+// the serial one — parallelism only changes wall-clock time.
 //
 // Multi-tenant runs return per-tenant partial results even when
 // cancelled: the returned Result (alongside ctx's error) carries a
@@ -197,55 +210,223 @@ func finishWriteCache(res *Result, wb *cache.WriteBuffer, now int64) {
 	res.WriteCache = &st
 }
 
-// runClosedLoopStream replays the single-stream closed loop. Without a
-// write buffer this is the legacy RunClosedLoop loop, unchanged — the
-// spec path must be bit-identical to it.
-func (s *Simulator) runClosedLoopStream(ctx context.Context, spec ClosedLoopSpec, fn ProgressFunc, every int) (*Result, error) {
-	tr, depth := spec.Trace, spec.Depth
-	if err := tr.Validate(); err != nil {
+// pendingEnd marks a queue-depth gate slot whose read is still in flight
+// on the pipeline; the true completion time arrives at commit. No real
+// completion time can collide with it.
+const pendingEnd = math.MinInt64
+
+// pendingRead identifies one in-flight read: which gate slot its
+// completion must fill and the issue time its latency is measured from.
+type pendingRead struct {
+	ti, slot int32
+	issue    int64
+}
+
+// pendingQueue is a fixed-capacity FIFO of in-flight reads, pre-sized to
+// the pipeline's bound so the steady-state loop never grows it.
+type pendingQueue struct {
+	buf        []pendingRead
+	head, tail int
+}
+
+func (q *pendingQueue) init(capacity int) {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if cap(q.buf) < capacity {
+		q.buf = make([]pendingRead, capacity)
+	}
+	q.buf = q.buf[:cap(q.buf)]
+	q.head, q.tail = 0, 0
+}
+
+func (q *pendingQueue) push(p pendingRead) {
+	if q.tail-q.head == len(q.buf) {
+		// The pipeline bounds in-flight reads below our pre-size; growing
+		// here would mean that invariant broke.
+		panic("core: pending-read queue overflow")
+	}
+	q.buf[q.tail%len(q.buf)] = p
+	q.tail++
+}
+
+func (q *pendingQueue) pop() pendingRead {
+	if q.head == q.tail {
+		panic("core: read commit with no pending read")
+	}
+	p := q.buf[q.head%len(q.buf)]
+	q.head++
+	return p
+}
+
+// stride is how many requests the replay loops go between context-
+// cancellation polls: one atomic-free modulo check per request, one
+// channel poll per stride. Progress callbacks get an additional immediate
+// poll so a cancelling callback stops the replay at that exact request.
+const stride = 64
+
+// streamLoop is the single-stream closed-loop replay, factored into a
+// struct so the steady-state allocation tests can drive the exact
+// production step path over a warm simulator.
+type streamLoop struct {
+	tr          *trace.Trace
+	write, read func(now int64, offset int64, size int) int64
+	wb          *cache.WriteBuffer
+	depth       int
+	ring        []int64
+	last        int64
+
+	// dev is non-nil when the read pipeline is running; pend tracks its
+	// in-flight reads in dispatch order.
+	dev  *scheme.Device
+	pend pendingQueue
+}
+
+// onReadCommit is the device's read-commit hook: called once per read
+// request, at commit, in dispatch order. It resolves the oldest pending
+// read's gate slot with the true completion time.
+func (l *streamLoop) onReadCommit(end int64) {
+	p := l.pend.pop()
+	l.ring[p.slot] = end
+	if end > l.last {
+		l.last = end
+	}
+}
+
+// resolve blocks until the gate slot's pending read commits and returns
+// the slot's completion time.
+func (l *streamLoop) resolve(slot int) int64 {
+	for l.ring[slot] == pendingEnd {
+		if !l.dev.CommitNextRead() {
+			panic("core: pending read with an idle pipeline")
+		}
+	}
+	return l.ring[slot]
+}
+
+// step replays request i and returns its completion time — or pendingEnd
+// for a read still in flight, whose gate slot is i%depth.
+func (l *streamLoop) step(i int) int64 {
+	r := l.tr.At(i)
+	slot := i % l.depth
+	issue := r.Time
+	gate := l.ring[slot]
+	if gate == pendingEnd {
+		gate = l.resolve(slot)
+	}
+	if gate > issue {
+		issue = gate
+	}
+	if r.Op == trace.OpWrite {
+		end := l.write(issue, r.Offset, r.Size)
+		l.ring[slot] = end
+		if end > l.last {
+			l.last = end
+		}
+		return end
+	}
+	if l.dev != nil {
+		before := l.dev.DispatchedReads()
+		end := l.read(issue, r.Offset, r.Size)
+		if l.dev.DispatchedReads() != before {
+			// The device dispatched this read onto the pipeline: its
+			// returned time excludes ECC-dependent extras; the true end
+			// arrives at commit through the hook.
+			l.ring[slot] = pendingEnd
+			l.pend.push(pendingRead{slot: int32(slot), issue: issue})
+			return pendingEnd
+		}
+		// Served by the DRAM write cache — no device read, final time.
+		l.ring[slot] = end
+		if end > l.last {
+			l.last = end
+		}
+		return end
+	}
+	end := l.read(issue, r.Offset, r.Size)
+	l.ring[slot] = end
+	if end > l.last {
+		l.last = end
+	}
+	return end
+}
+
+// newStreamLoop builds the replay state for a single-stream run,
+// pre-sizing everything the hot loop touches.
+func (s *Simulator) newStreamLoop(spec *ClosedLoopSpec) (*streamLoop, error) {
+	if err := spec.Trace.Validate(); err != nil {
 		return nil, err
 	}
-	write, read, wb, err := s.frontend(&spec)
+	write, read, wb, err := s.frontend(spec)
 	if err != nil {
 		return nil, err
 	}
+	return &streamLoop{
+		tr:    spec.Trace,
+		write: write,
+		read:  read,
+		wb:    wb,
+		depth: spec.Depth,
+		ring:  make([]int64, spec.Depth),
+	}, nil
+}
+
+// runClosedLoopStream replays the single-stream closed loop. Without a
+// write buffer or parallelism this computes exactly what the legacy
+// RunClosedLoop loop did — the spec path must be bit-identical to it.
+func (s *Simulator) runClosedLoopStream(ctx context.Context, spec ClosedLoopSpec, fn ProgressFunc, every int) (*Result, error) {
+	l, err := s.newStreamLoop(&spec)
+	if err != nil {
+		return nil, err
+	}
+	if s.cfg.Parallelism > 1 {
+		d := s.scheme.Device()
+		d.StartReadPipeline(s.cfg.Parallelism)
+		defer d.StopReadPipeline()
+		d.OnReadCommit(l.onReadCommit)
+		l.pend.init(d.PendingReadCapacity())
+		l.dev = d
+	}
+	met := s.scheme.Metrics()
 	done := ctx.Done()
-	n := tr.Len()
-	ring := make([]int64, depth)
-	var last int64
+	n := l.tr.Len()
 	for i := 0; i < n; i++ {
-		if done != nil {
+		if done != nil && i%stride == 0 {
 			select {
 			case <-done:
 				return nil, ctx.Err()
 			default:
 			}
 		}
-		r := tr.At(i)
-		issue := r.Time
-		if gate := ring[i%depth]; gate > issue {
-			issue = gate
-		}
-		var end int64
-		if r.Op == trace.OpWrite {
-			end = write(issue, r.Offset, r.Size)
-		} else {
-			end = read(issue, r.Offset, r.Size)
-		}
-		ring[i%depth] = end
-		if end > last {
-			last = end
-		}
+		end := l.step(i)
 		if fn != nil && ((i+1)%every == 0 || i+1 == n) {
-			m := s.scheme.Metrics()
-			fn(Progress{Replayed: i + 1, Total: n, SimTime: end, GCs: m.GCs()})
+			if l.dev != nil {
+				// Progress snapshots read the metrics, so in-flight reads
+				// commit first; that also resolves this request's end and
+				// keeps reported GC counts identical to a serial replay's.
+				l.dev.FlushReads()
+			}
+			if end == pendingEnd {
+				end = l.ring[i%l.depth]
+			}
+			fn(Progress{Replayed: i + 1, Total: n, SimTime: end, GCs: met.GCs()})
+			if done != nil {
+				select {
+				case <-done:
+					return nil, ctx.Err()
+				default:
+				}
+			}
 		}
+	}
+	if l.dev != nil {
+		l.dev.FlushReads()
 	}
 	if err := s.checkFinal(); err != nil {
 		return nil, err
 	}
-	res := s.Result(tr.Name, n)
-	finishWriteCache(res, wb, last)
+	res := s.Result(l.tr.Name, n)
+	finishWriteCache(res, l.wb, l.last)
 	return res, nil
 }
 
@@ -280,16 +461,162 @@ func (s *Simulator) buildTenantSchedule(spec *ClosedLoopSpec) (*workload.Schedul
 	return sched, specs, nil
 }
 
+// tenantLoop is the multi-tenant closed-loop replay state: every slice
+// the hot loop touches is allocated once up front (the gate rings share
+// one backing array), so steady-state request processing allocates
+// nothing.
+type tenantLoop struct {
+	sched       *workload.Schedule
+	write, read func(now int64, offset int64, size int) int64
+	wb          *cache.WriteBuffer
+	shares      []int
+	rings       [][]int64
+	counts      []int
+	accums      []tenantAccum
+	lastEnd     int64
+
+	dev  *scheme.Device
+	pend pendingQueue
+}
+
+// onReadCommit resolves the oldest pending read: fills its gate slot and
+// folds its latency into its tenant's accumulator. Commits arrive in
+// dispatch order, so reads fold in the same order the serial loop
+// records them.
+func (l *tenantLoop) onReadCommit(end int64) {
+	p := l.pend.pop()
+	l.rings[p.ti][p.slot] = end
+	a := &l.accums[p.ti]
+	if end > a.lastEnd {
+		a.lastEnd = end
+	}
+	if end > l.lastEnd {
+		l.lastEnd = end
+	}
+	a.readLat.Record(end - p.issue)
+}
+
+// resolve blocks until tenant ti's gate slot holds a real completion
+// time and returns it.
+func (l *tenantLoop) resolve(ti, slot int) int64 {
+	for l.rings[ti][slot] == pendingEnd {
+		if !l.dev.CommitNextRead() {
+			panic("core: pending read with an idle pipeline")
+		}
+	}
+	return l.rings[ti][slot]
+}
+
+// step replays schedule entry i. It returns the request's completion
+// time — or pendingEnd for an in-flight read — plus the tenant and gate
+// slot it occupies, so the caller can resolve the time after a flush.
+func (l *tenantLoop) step(i int) (end int64, ti, slot int) {
+	r := l.sched.At(i)
+	ti = int(r.Tenant)
+	slot = l.counts[ti] % l.shares[ti]
+	issue := r.Time
+	gate := l.rings[ti][slot]
+	if gate == pendingEnd {
+		gate = l.resolve(ti, slot)
+	}
+	if gate > issue {
+		issue = gate
+	}
+	a := &l.accums[ti]
+	if !a.issued {
+		a.firstIssue = issue
+		a.issued = true
+	}
+	l.counts[ti]++
+	if r.Write {
+		end = l.write(issue, r.Offset, int(r.Size))
+		l.rings[ti][slot] = end
+		if end > a.lastEnd {
+			a.lastEnd = end
+		}
+		if end > l.lastEnd {
+			l.lastEnd = end
+		}
+		a.writeLat.Record(end - issue)
+		return end, ti, slot
+	}
+	if l.dev != nil {
+		before := l.dev.DispatchedReads()
+		end = l.read(issue, r.Offset, int(r.Size))
+		if l.dev.DispatchedReads() != before {
+			l.rings[ti][slot] = pendingEnd
+			l.pend.push(pendingRead{ti: int32(ti), slot: int32(slot), issue: issue})
+			return pendingEnd, ti, slot
+		}
+		// DRAM write-cache hit: no device read was dispatched, the
+		// returned time is final.
+	} else {
+		end = l.read(issue, r.Offset, int(r.Size))
+	}
+	l.rings[ti][slot] = end
+	if end > a.lastEnd {
+		a.lastEnd = end
+	}
+	if end > l.lastEnd {
+		l.lastEnd = end
+	}
+	a.readLat.Record(end - issue)
+	return end, ti, slot
+}
+
+// newTenantLoop builds the replay state for a multi-tenant run: the
+// merged schedule, the per-tenant gate rings carved from one backing
+// array, and the per-tenant accumulators.
+func (s *Simulator) newTenantLoop(spec *ClosedLoopSpec) (*tenantLoop, []workload.TenantSpec, error) {
+	sched, specs, err := s.buildTenantSchedule(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	write, read, wb, err := s.frontend(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	k := len(specs)
+	weights := make([]float64, k)
+	for i, t := range specs {
+		weights[i] = t.Weight
+	}
+	shares := workload.DepthShares(spec.Depth, weights)
+	total := 0
+	for _, sh := range shares {
+		total += sh
+	}
+	slots := make([]int64, total)
+	rings := make([][]int64, k)
+	for i, sh := range shares {
+		rings[i], slots = slots[:sh:sh], slots[sh:]
+	}
+	return &tenantLoop{
+		sched:  sched,
+		write:  write,
+		read:   read,
+		wb:     wb,
+		shares: shares,
+		rings:  rings,
+		counts: make([]int, k),
+		accums: make([]tenantAccum, k),
+	}, specs, nil
+}
+
 // runClosedLoopTenants replays K tenant streams interleaved onto the
 // device, each gated by its own share of the queue depth.
 func (s *Simulator) runClosedLoopTenants(ctx context.Context, spec ClosedLoopSpec, fn ProgressFunc, every int) (*Result, error) {
-	sched, specs, err := s.buildTenantSchedule(&spec)
+	l, specs, err := s.newTenantLoop(&spec)
 	if err != nil {
 		return nil, err
 	}
-	write, read, wb, err := s.frontend(&spec)
-	if err != nil {
-		return nil, err
+	if s.cfg.Parallelism > 1 {
+		d := s.scheme.Device()
+		d.StartReadPipeline(s.cfg.Parallelism)
+		defer d.StopReadPipeline()
+		d.OnReadCommit(l.onReadCommit)
+		l.pend.init(d.PendingReadCapacity())
+		l.dev = d
 	}
 
 	k := len(specs)
@@ -297,39 +624,36 @@ func (s *Simulator) runClosedLoopTenants(ctx context.Context, spec ClosedLoopSpe
 	for i, t := range specs {
 		weights[i] = t.Weight
 	}
-	shares := workload.DepthShares(spec.Depth, weights)
-	rings := make([][]int64, k)
-	counts := make([]int, k)
-	for i, sh := range shares {
-		rings[i] = make([]int64, sh)
-	}
-	accums := make([]tenantAccum, k)
 
 	// finish assembles the Result — for the completed run and for the
 	// cancelled partial alike, so no tenant slice is ever left nil.
-	var lastEnd int64
 	finish := func(completed int) *Result {
-		res := s.Result(sched.Name(), completed)
+		if l.dev != nil {
+			// Fold every in-flight read before snapshotting: a cancelled
+			// partial must account everything it issued.
+			l.dev.FlushReads()
+		}
+		res := s.Result(l.sched.Name(), completed)
 		if res == nil {
 			return nil
 		}
-		finishWriteCache(res, wb, lastEnd)
+		finishWriteCache(res, l.wb, l.lastEnd)
 		res.Tenants = make([]TenantResult, k)
 		completedCounts := make([]int, k)
-		for i := range accums {
-			res.Tenants[i] = accums[i].result(sched.Tenants[i], shares[i])
+		for i := range l.accums {
+			res.Tenants[i] = l.accums[i].result(l.sched.Tenants[i], l.shares[i])
 			completedCounts[i] = res.Tenants[i].Requests
 		}
-		makespan := lastEnd
 		res.FairnessIndex = metrics.FairnessIndex(
-			workload.WeightedThroughputs(completedCounts, weights, makespan))
+			workload.WeightedThroughputs(completedCounts, weights, l.lastEnd))
 		return res
 	}
 
+	met := s.scheme.Metrics()
 	done := ctx.Done()
-	n := sched.Len()
+	n := l.sched.Len()
 	for i := 0; i < n; i++ {
-		if done != nil {
+		if done != nil && i%stride == 0 {
 			select {
 			case <-done:
 				// Per-tenant partials: every tenant reports what it
@@ -338,41 +662,26 @@ func (s *Simulator) runClosedLoopTenants(ctx context.Context, spec ClosedLoopSpe
 			default:
 			}
 		}
-		r := sched.At(i)
-		ti := int(r.Tenant)
-		slot := counts[ti] % shares[ti]
-		issue := r.Time
-		if gate := rings[ti][slot]; gate > issue {
-			issue = gate
-		}
-		var end int64
-		if r.Write {
-			end = write(issue, r.Offset, int(r.Size))
-		} else {
-			end = read(issue, r.Offset, int(r.Size))
-		}
-		rings[ti][slot] = end
-		counts[ti]++
-		a := &accums[ti]
-		if !a.issued {
-			a.firstIssue = issue
-			a.issued = true
-		}
-		if end > a.lastEnd {
-			a.lastEnd = end
-		}
-		if end > lastEnd {
-			lastEnd = end
-		}
-		if r.Write {
-			a.writeLat.Record(end - issue)
-		} else {
-			a.readLat.Record(end - issue)
-		}
+		end, ti, slot := l.step(i)
 		if fn != nil && ((i+1)%every == 0 || i+1 == n) {
-			m := s.scheme.Metrics()
-			fn(Progress{Replayed: i + 1, Total: n, SimTime: end, GCs: m.GCs()})
+			if l.dev != nil {
+				l.dev.FlushReads()
+			}
+			if end == pendingEnd {
+				end = l.rings[ti][slot]
+			}
+			fn(Progress{Replayed: i + 1, Total: n, SimTime: end, GCs: met.GCs()})
+			if done != nil {
+				select {
+				case <-done:
+					return finish(i + 1), ctx.Err()
+				default:
+				}
+			}
 		}
+	}
+	if l.dev != nil {
+		l.dev.FlushReads()
 	}
 	if err := s.checkFinal(); err != nil {
 		return nil, err

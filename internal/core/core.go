@@ -38,14 +38,15 @@ type Config struct {
 	// verifies every host request; check.Full adds an O(device)
 	// structural sweep after every GC event. Keep it off for benchmarks.
 	Check check.Level
-	// Parallelism sets the intra-run read-pipeline worker count for
-	// open-loop replays: per-subpage ECC evaluation is dispatched to this
-	// many workers and committed back in simulated-time order, so results
-	// stay bit-identical to a serial run. 0 or 1 (the default) replays
-	// serially; the knob does not affect closed-loop replays, whose
-	// queue-depth gate needs each request's true completion time before
-	// the next issue. Parallelism never changes any metric — only wall
-	// time — so it is not part of the snapshot-cache or job-cache key.
+	// Parallelism sets the intra-run read-pipeline worker count: per-
+	// subpage ECC evaluation is dispatched to this many workers and
+	// committed back in simulated-time order, so results stay
+	// bit-identical to a serial run. 0 or 1 (the default) replays
+	// serially. Open-loop and closed-loop replays both honour it; a
+	// closed-loop queue-depth gate that needs an in-flight read's true
+	// completion time forces exactly the pending commits it depends on.
+	// Parallelism never changes any metric — only wall time — so it is
+	// not part of the snapshot-cache or job-cache key.
 	Parallelism int
 }
 

@@ -75,13 +75,15 @@ func (rs *ResultSet) defaultPE() int {
 // ---------------------------------------------------------------------------
 // Tables 1-3
 
-// Table1 regenerates the update-size distribution of the synthetic traces.
+// Table1 regenerates the update-size distribution of the synthetic
+// traces. Traces come from the shared trace cache, so rendering the
+// table after (or alongside) a run reuses the replay's synthesis.
 func Table1(seed int64, scale float64) (*metrics.Table, error) {
 	t := metrics.NewTable("Table 1: size distribution of updated requests",
 		"Trace", "Size<=4K", "4K<Size<=8K", "Size>8K", "paper<=4K", "paper4-8K", "paper>8K")
 	for _, name := range trace.ProfileNames() {
 		p := trace.Profiles[name]
-		tr, err := trace.Generate(p, seed, scale)
+		tr, err := cachedTrace(name, seed, scale)
 		if err != nil {
 			return nil, err
 		}
@@ -119,13 +121,14 @@ func Table2(cfg *flash.Config) *metrics.Table {
 	return t
 }
 
-// Table3 regenerates the trace specifications.
+// Table3 regenerates the trace specifications, reusing the shared trace
+// cache like Table1.
 func Table3(seed int64, scale float64) (*metrics.Table, error) {
 	t := metrics.NewTable("Table 3: specifications of selected traces",
 		"Trace", "#Req", "WriteR", "WriteSZ", "HotWrite", "paperWriteR", "paperSZ", "paperHot")
 	for _, name := range trace.ProfileNames() {
 		p := trace.Profiles[name]
-		tr, err := trace.Generate(p, seed, scale)
+		tr, err := cachedTrace(name, seed, scale)
 		if err != nil {
 			return nil, err
 		}

@@ -2,8 +2,12 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"ipusim/internal/cache"
@@ -15,8 +19,8 @@ import (
 // TenantMix names one multi-tenant workload composition for the
 // contention study.
 type TenantMix struct {
-	Name    string
-	Tenants []workload.TenantSpec
+	Name    string                `json:"name"`
+	Tenants []workload.TenantSpec `json:"tenants"`
 }
 
 // DefaultTenantMixes returns the two contention mixes of the evaluation:
@@ -55,10 +59,41 @@ type TenantContentionSpec struct {
 	// CacheBytes sizes the DRAM write buffer of the buffered arm
 	// (default 4 MiB). Every mix runs twice: buffer off, then on.
 	CacheBytes int64
-	Seed       int64
-	Scale      float64
-	Flash      *flash.Config
+	Seed  int64
+	Scale float64
+	Flash *flash.Config
+	// Workers bounds concurrently running cells; 0 means GOMAXPROCS.
+	// Rows are deterministic regardless: cells are enumerated and indexed
+	// up front, so scheduling never reorders them.
+	Workers int
+	// Parallelism sets each cell's intra-run read-pipeline worker count
+	// (Config.Parallelism); results are bit-identical either way.
+	Parallelism int
+	// OnProgress, if set, receives aggregated Progress snapshots:
+	// Replayed/Total count requests across every cell of the study
+	// combined, GCs accumulates across cells, SimTime is the reporting
+	// cell's device clock. It is invoked concurrently from worker
+	// goroutines and must be safe for concurrent use (ProgressPrinter is).
 	OnProgress ProgressFunc
+}
+
+// normalize fills the contention spec's defaults in place.
+func (spec *TenantContentionSpec) normalize() {
+	if len(spec.Mixes) == 0 {
+		spec.Mixes = DefaultTenantMixes()
+	}
+	if len(spec.Schemes) == 0 {
+		spec.Schemes = append([]string(nil), SchemeNames...)
+	}
+	if spec.Depth <= 0 {
+		spec.Depth = 16
+	}
+	if spec.CacheBytes <= 0 {
+		spec.CacheBytes = 4 << 20
+	}
+	if spec.Workers <= 0 {
+		spec.Workers = runtime.GOMAXPROCS(0)
+	}
 }
 
 // ContentionRow is one (mix, scheme, buffer arm) outcome.
@@ -82,61 +117,194 @@ func worstTenantP99Read(r *Result) time.Duration {
 	return worst
 }
 
-// RunTenantContentionContext replays every (mix, scheme) pair closed-loop
-// under tenant contention, once without and once with the write-cache
-// front-end, serially in deterministic order. Devices come from the
-// snapshot cache and are released back to it.
-func RunTenantContentionContext(ctx context.Context, spec TenantContentionSpec) ([]ContentionRow, error) {
-	if len(spec.Mixes) == 0 {
-		spec.Mixes = DefaultTenantMixes()
-	}
-	if len(spec.Schemes) == 0 {
-		spec.Schemes = append([]string(nil), SchemeNames...)
-	}
-	if spec.Depth <= 0 {
-		spec.Depth = 16
-	}
-	if spec.CacheBytes <= 0 {
-		spec.CacheBytes = 4 << 20
-	}
-	var rows []ContentionRow
+// ContentionCell is one independently runnable unit of the contention
+// study: a (mix, buffer arm, scheme) triple.
+type ContentionCell struct {
+	Mix      TenantMix
+	Buffered bool
+	Scheme   string
+}
+
+// ContentionCells returns spec's cell decomposition in the study's
+// deterministic row order — mix, then buffer arm, then scheme. It is the
+// same enumeration a coordinator uses to shard the study across workers,
+// so per-cell results land at the same indices either way.
+func ContentionCells(spec TenantContentionSpec) ([]ContentionCell, error) {
+	spec.normalize()
+	cells := make([]ContentionCell, 0, len(spec.Mixes)*2*len(spec.Schemes))
 	for _, mix := range spec.Mixes {
 		if len(mix.Tenants) == 0 {
 			return nil, fmt.Errorf("core: tenant mix %q is empty", mix.Name)
 		}
 		for _, buffered := range []bool{false, true} {
 			for _, schemeName := range spec.Schemes {
-				cfg := DefaultConfig()
-				if spec.Flash != nil {
-					cfg.Flash = *spec.Flash
-				}
-				cfg.Scheme = schemeName
-				sim, err := New(cfg)
-				if err != nil {
-					return nil, err
-				}
-				run := ClosedLoopSpec{
-					Depth:      spec.Depth,
-					Tenants:    mix.Tenants,
-					Seed:       spec.Seed,
-					Scale:      spec.Scale,
-					OnProgress: spec.OnProgress,
-				}
-				if buffered {
-					run.WriteCache = &cache.Config{CapacityBytes: spec.CacheBytes}
-				}
-				res, err := sim.RunClosedLoopSpec(ctx, run)
-				if err != nil {
-					if ctx.Err() != nil {
-						sim.Release()
-					}
-					return nil, err
-				}
-				sim.Release()
-				rows = append(rows, ContentionRow{
-					Mix: mix.Name, Scheme: schemeName, Buffered: buffered, Result: res,
+				cells = append(cells, ContentionCell{Mix: mix, Buffered: buffered, Scheme: schemeName})
+			}
+		}
+	}
+	return cells, nil
+}
+
+// contentionRunSpec builds the closed-loop spec one cell replays.
+func contentionRunSpec(spec *TenantContentionSpec, cell ContentionCell) ClosedLoopSpec {
+	run := ClosedLoopSpec{
+		Depth:      spec.Depth,
+		Tenants:    cell.Mix.Tenants,
+		Seed:       spec.Seed,
+		Scale:      spec.Scale,
+		OnProgress: spec.OnProgress,
+	}
+	if cell.Buffered {
+		run.WriteCache = &cache.Config{CapacityBytes: spec.CacheBytes}
+	}
+	return run
+}
+
+// RunContentionCellContext replays one contention cell on a snapshot-
+// cached device and returns its row. It is the unit a cluster
+// coordinator dispatches — and the local fallback when a remote worker
+// dies. The spec's Workers field is irrelevant here; Parallelism is
+// honoured.
+func RunContentionCellContext(ctx context.Context, spec TenantContentionSpec, cell ContentionCell) (ContentionRow, error) {
+	spec.normalize()
+	cfg := DefaultConfig()
+	if spec.Flash != nil {
+		cfg.Flash = *spec.Flash
+	}
+	cfg.Scheme = cell.Scheme
+	cfg.Parallelism = spec.Parallelism
+	sim, err := New(cfg)
+	if err != nil {
+		return ContentionRow{}, err
+	}
+	res, err := sim.RunClosedLoopSpec(ctx, contentionRunSpec(&spec, cell))
+	if err != nil {
+		// A cancelled run stopped between requests, so its device is
+		// structurally consistent and can rejoin the free pool; any other
+		// failure drops the device on the floor.
+		if errors.Is(err, ctx.Err()) && ctx.Err() != nil {
+			sim.Release()
+		}
+		return ContentionRow{}, err
+	}
+	sim.Release()
+	return ContentionRow{Mix: cell.Mix.Name, Scheme: cell.Scheme, Buffered: cell.Buffered, Result: res}, nil
+}
+
+// contentionMixRequests synthesises (and caches) a mix's tenant traces
+// and returns the request count of its merged schedule — the per-cell
+// progress total.
+func contentionMixRequests(spec *TenantContentionSpec, mix TenantMix) (int, error) {
+	seed, scale := spec.Seed, spec.Scale
+	if seed == 0 {
+		seed = 42
+	}
+	if scale == 0 {
+		scale = 0.05
+	}
+	specs := workload.NormalizeTenants(mix.Tenants, DefaultTenantTrace, seed, scale)
+	if err := workload.ValidateTenants(specs); err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, t := range specs {
+		tr, err := cachedTrace(t.Trace, t.Seed, t.Scale)
+		if err != nil {
+			return 0, err
+		}
+		total += tr.Len()
+	}
+	return total, nil
+}
+
+// RunTenantContentionContext replays every (mix, buffer arm, scheme) cell
+// of the contention study on a fixed pool of spec.Workers goroutines.
+// Each mix's tenant traces are synthesised once up front and shared
+// read-only by its cells; devices come from the snapshot cache and are
+// released back to it. Rows come back in the deterministic
+// mix/buffer/scheme enumeration order with results bit-identical to a
+// serial (Workers=1) study, independent of scheduling.
+//
+// Cancelling ctx stops every in-flight cell within a request-stride
+// boundary and returns ctx's error; partially replayed devices still
+// rejoin the snapshot cache's free pool.
+func RunTenantContentionContext(ctx context.Context, spec TenantContentionSpec) ([]ContentionRow, error) {
+	spec.normalize()
+	cells, err := ContentionCells(spec)
+	if err != nil {
+		return nil, err
+	}
+
+	// Warm the trace cache before the fan-out and total the study's
+	// requests for aggregated progress (each mix runs 2*len(Schemes)
+	// cells: one per scheme and buffer arm).
+	var totalRequests int64
+	for _, mix := range spec.Mixes {
+		n, err := contentionMixRequests(&spec, mix)
+		if err != nil {
+			return nil, err
+		}
+		totalRequests += int64(n) * int64(2*len(spec.Schemes))
+	}
+
+	// Aggregated study progress, as in RunMatrixContext: every cell's
+	// per-interval deltas land in shared atomics and each callback
+	// reports the study-wide totals.
+	var replayed, gcs atomic.Int64
+
+	rows := make([]ContentionRow, len(cells))
+	errs := make([]error, len(cells))
+	run := func(i int) {
+		cellSpec := spec
+		if spec.OnProgress != nil {
+			var prevReplayed int
+			var prevGCs int64
+			cellSpec.OnProgress = func(p Progress) {
+				r := replayed.Add(int64(p.Replayed - prevReplayed))
+				g := gcs.Add(p.GCs - prevGCs)
+				prevReplayed, prevGCs = p.Replayed, p.GCs
+				spec.OnProgress(Progress{
+					Replayed: int(r),
+					Total:    int(totalRequests),
+					SimTime:  p.SimTime,
+					GCs:      g,
 				})
 			}
+		}
+		rows[i], errs[i] = RunContentionCellContext(ctx, cellSpec, cells[i])
+	}
+
+	workers := spec.Workers
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				run(i)
+			}
+		}()
+	}
+dispatch:
+	for i := range cells {
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(next)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
 	return rows, nil

@@ -92,6 +92,17 @@ type Device struct {
 	// devices.
 	pipe *readPipe
 
+	// onReadCommit, when non-nil, receives each pipelined host read's true
+	// completion time (including the deferred ECC extra) as its result
+	// commits — always in dispatch order. Closed-loop drivers use it to
+	// resolve queue-depth gates without flushing the whole pipeline.
+	// dispatchedReads counts host read requests handed to the pipeline, so
+	// a front-end can tell a DRAM-served read (no device dispatch) from one
+	// whose completion will arrive through the hook. Both are per-run
+	// transient state: nil/zero on clones, templates and pooled devices.
+	onReadCommit    func(end int64)
+	dispatchedReads int64
+
 	// Check, when non-nil, is the attached invariant checker: host writes,
 	// trims and reads are mirrored into its shadow store, and every GC
 	// event triggers a structural sweep (at check.Full). Violations panic
@@ -209,6 +220,8 @@ func (d *Device) Clone() *Device {
 	c.berMemo[0] = append([]float64(nil), d.berMemo[0]...)
 	c.berMemo[1] = append([]float64(nil), d.berMemo[1]...)
 	c.pipe = nil
+	c.onReadCommit = nil
+	c.dispatchedReads = 0
 	c.Check = nil
 	c.TestHooks.AfterHostWrite = nil
 	return c
@@ -257,6 +270,8 @@ func (d *Device) Restore(t *Device) {
 	d.berMemo[1] = berMemo[1][:0]
 	d.unmappedCostOK = false
 	d.pipe = nil
+	d.onReadCommit = nil
+	d.dispatchedReads = 0
 	d.Check = nil
 	d.TestHooks.AfterHostWrite = nil
 }

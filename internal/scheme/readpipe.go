@@ -125,6 +125,7 @@ func (d *Device) StartReadPipeline(workers int) {
 
 // StopReadPipeline commits every in-flight read, stops the workers and
 // returns the device to serial reads. Safe to call on a serial device.
+// The read-commit hook is cleared with the pipeline it serves.
 func (d *Device) StopReadPipeline() {
 	if d.pipe == nil {
 		return
@@ -132,6 +133,39 @@ func (d *Device) StopReadPipeline() {
 	d.FlushReads()
 	d.pipe.p.Close()
 	d.pipe = nil
+	d.onReadCommit = nil
+	d.dispatchedReads = 0
+}
+
+// OnReadCommit registers fn to receive each pipelined read request's true
+// completion time as it commits. Commits replay in dispatch order, so a
+// caller keeping its own FIFO of dispatched reads can match completions
+// to requests positionally. Pass nil to unregister; StopReadPipeline,
+// Clone and Restore clear it. Serial reads (no pipeline) never invoke it.
+func (d *Device) OnReadCommit(fn func(end int64)) { d.onReadCommit = fn }
+
+// DispatchedReads counts host read requests dispatched to the read
+// pipeline so far this run. A caller that samples it around a read entry
+// point can tell whether that call reached the device (counter advanced;
+// the true completion arrives through the OnReadCommit hook) or was
+// absorbed by a front-end cache (counter unchanged; the returned time is
+// already final).
+func (d *Device) DispatchedReads() int64 { return d.dispatchedReads }
+
+// CommitNextRead resolves exactly one pending pipelined read — the oldest
+// dispatched, blocking until its evaluation finishes — and returns true.
+// When only a partially filled batch is open it is submitted first, so a
+// queue-depth gate waiting on a specific completion always makes
+// progress. Returns false when no read is in flight.
+func (d *Device) CommitNextRead() bool {
+	rp := d.pipe
+	if rp == nil {
+		return false
+	}
+	if rp.p.InFlight() == 0 {
+		rp.submitOpen()
+	}
+	return rp.p.CommitNext()
 }
 
 // FlushReads submits any open batch and blocks until every dispatched
@@ -143,6 +177,17 @@ func (d *Device) FlushReads() {
 	}
 	rp.submitOpen()
 	rp.p.Flush()
+}
+
+// PendingReadCapacity bounds the host reads that can be dispatched but
+// not yet committed: every ring op in flight plus the open batch, each
+// carrying up to readOpBatch requests. Callers size completion FIFOs with
+// it once, up front. A serial device returns 0.
+func (d *Device) PendingReadCapacity() int {
+	if d.pipe == nil {
+		return 0
+	}
+	return (d.pipe.p.Ring() + 1) * readOpBatch
 }
 
 // submitOpen publishes the partially filled batch, if any.
@@ -212,6 +257,7 @@ func (d *Device) unmappedReadCost() *errmodel.ReadCost {
 func (d *Device) readReqAsync(now int64, lsns []flash.LSN) int64 {
 	d.groupRead(lsns)
 	rp := d.pipe
+	d.dispatchedReads++
 	req := rp.nextReq()
 	req.now = now
 	end := now
@@ -330,5 +376,8 @@ func (d *Device) commitReadOp(slot int) {
 		}
 		d.Met.ReadLatency.Record(req.end - req.now)
 		d.Met.AllLatency.Record(req.end - req.now)
+		if d.onReadCommit != nil {
+			d.onReadCommit(req.end)
+		}
 	}
 }

@@ -65,6 +65,7 @@ func canonicalRequest(req JobRequest, defaultScale float64) JobRequest {
 		}
 		req.Traces, req.Schemes, req.PEBaselines = nil, nil, nil
 		req.Param, req.ParamValue = "", 0
+		req.Mixes, req.CacheBytes = nil, 0
 	case "cell":
 		if req.Scheme == "" {
 			req.Scheme = "IPU"
@@ -75,6 +76,7 @@ func canonicalRequest(req JobRequest, defaultScale float64) JobRequest {
 		req.Traces, req.Schemes, req.PEBaselines = nil, nil, nil
 		req.QueueDepth = 0
 		req.Tenants, req.WriteCache = nil, nil
+		req.Mixes, req.CacheBytes = nil, 0
 		if req.Param == "" {
 			req.ParamValue = 0
 		}
@@ -91,6 +93,7 @@ func canonicalRequest(req JobRequest, defaultScale float64) JobRequest {
 		req.Scheme, req.Trace = "", ""
 		req.QueueDepth, req.PEBaseline = 0, 0
 		req.Tenants, req.WriteCache = nil, nil
+		req.Mixes, req.CacheBytes = nil, 0
 		req.Param, req.ParamValue = "", 0
 	case "sensitivity":
 		if len(req.Traces) == 0 {
@@ -103,7 +106,39 @@ func canonicalRequest(req JobRequest, defaultScale float64) JobRequest {
 		req.QueueDepth, req.PEBaseline = 0, 0
 		req.PEBaselines = nil
 		req.Tenants, req.WriteCache = nil, nil
+		req.Mixes, req.CacheBytes = nil, 0
 		req.ParamValue = 0
+	case "contention":
+		// Schema v4: the contention study canonicalises with every default
+		// made explicit — mirroring TenantContentionSpec.normalize and the
+		// per-mix tenant normalisation — so defaulted and spelled-out
+		// studies share an address. Existing kinds never carry Mixes or
+		// CacheBytes (omitempty), so their v2/v3 keys are untouched.
+		if len(req.Mixes) == 0 {
+			req.Mixes = core.DefaultTenantMixes()
+		}
+		if len(req.Schemes) == 0 {
+			req.Schemes = append([]string(nil), core.SchemeNames...)
+		}
+		if req.QueueDepth == 0 {
+			req.QueueDepth = 16
+		}
+		if req.CacheBytes == 0 {
+			req.CacheBytes = 4 << 20
+		}
+		mixes := make([]core.TenantMix, len(req.Mixes))
+		for i, mix := range req.Mixes {
+			mixes[i] = core.TenantMix{
+				Name:    mix.Name,
+				Tenants: workload.NormalizeTenants(mix.Tenants, core.DefaultTenantTrace, req.Seed, req.Scale),
+			}
+		}
+		req.Mixes = mixes
+		req.Scheme, req.Trace = "", ""
+		req.Traces, req.PEBaselines = nil, nil
+		req.PEBaseline = 0
+		req.Tenants, req.WriteCache = nil, nil
+		req.Param, req.ParamValue = "", 0
 	}
 	return req
 }

@@ -1,0 +1,169 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"ipusim/internal/core"
+)
+
+// One mix, two schemes, both buffer arms: 4 cells — small enough for a
+// per-commit test, large enough to exercise sharding and row order.
+const contentionTestBody = `{"kind":"contention",` +
+	`"mixes":[{"name":"mix0","tenants":[` +
+	`{"name":"a","trace":"ts0","weight":3},` +
+	`{"name":"b","trace":"wdev0","weight":1}]}],` +
+	`"schemes":["Baseline","IPU"],` +
+	`"queueDepth":8,"cacheBytes":262144,"scale":0.01,"seed":9}`
+
+// TestContentionJobEndToEnd runs a contention study through a plain
+// daemon and checks the rows come back in the deterministic
+// mix/buffer/scheme enumeration order with per-tenant results attached.
+func TestContentionJobEndToEnd(t *testing.T) {
+	_, ts := newTestService(t, Options{Workers: 2, DefaultScale: 0.01})
+	_, raw := runToResult(t, ts, contentionTestBody, 120*time.Second)
+
+	var rows []core.ContentionRow
+	if err := json.Unmarshal(raw, &rows); err != nil {
+		t.Fatalf("decoding contention rows: %v", err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4 (1 mix x 2 arms x 2 schemes)", len(rows))
+	}
+	want := []struct {
+		scheme   string
+		buffered bool
+	}{
+		{"Baseline", false}, {"IPU", false},
+		{"Baseline", true}, {"IPU", true},
+	}
+	for i, row := range rows {
+		if row.Mix != "mix0" || row.Scheme != want[i].scheme || row.Buffered != want[i].buffered {
+			t.Fatalf("row %d = {%s %s %v}, want {mix0 %s %v}",
+				i, row.Mix, row.Scheme, row.Buffered, want[i].scheme, want[i].buffered)
+		}
+		if row.Result == nil || len(row.Result.Tenants) != 2 {
+			t.Fatalf("row %d: missing per-tenant results", i)
+		}
+		if want[i].buffered && row.Result.WriteCache == nil {
+			t.Fatalf("row %d: buffered arm has no write-cache stats", i)
+		}
+	}
+}
+
+// TestContentionCoordinatorMatchesLocal shards the same study over an
+// in-process worker fleet: the aggregated response must be byte-identical
+// to a single plain daemon's, with cells demonstrably placed remotely.
+func TestContentionCoordinatorMatchesLocal(t *testing.T) {
+	pool := Options{Workers: 4, DefaultScale: 0.01}
+	_, tsw := newTestService(t, pool)
+
+	copts := pool
+	copts.WorkerURLs = []string{tsw.URL}
+	coordSvc, tsc := newTestService(t, copts)
+	_, got := runToResult(t, tsc, contentionTestBody, 120*time.Second)
+
+	st := mustStatsOf(coordSvc)
+	if st.RemoteCells == 0 {
+		t.Fatal("coordinator placed no contention cells remotely")
+	}
+
+	_, tsr := newTestService(t, pool)
+	_, want := runToResult(t, tsr, contentionTestBody, 120*time.Second)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("sharded contention result differs from single daemon:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// TestContentionCoordinatorFallback starves the coordinator of workers:
+// every cell must fall back in-process and the study still completes with
+// the single-daemon bytes.
+func TestContentionCoordinatorFallback(t *testing.T) {
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close()
+	copts := Options{Workers: 2, WorkerURLs: []string{deadURL}, DefaultScale: 0.01}
+	coordSvc, tsc := newTestService(t, copts)
+	_, got := runToResult(t, tsc, contentionTestBody, 120*time.Second)
+
+	st := mustStatsOf(coordSvc)
+	if st.RemoteCells != 0 || st.FallbackCells != 4 {
+		t.Fatalf("remote %d fallback %d, want all 4 cells local", st.RemoteCells, st.FallbackCells)
+	}
+
+	_, tsr := newTestService(t, Options{Workers: 2, DefaultScale: 0.01})
+	_, want := runToResult(t, tsr, contentionTestBody, 120*time.Second)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("fallback contention result differs from single daemon")
+	}
+}
+
+// TestV4ContentionCanonicalisation pins the schema-v4 content address:
+// defaulted and spelled-out studies share a key, distinct studies split,
+// and pre-v4 kinds never mention the new fields — so every pinned v2/v3
+// key survives (TestV2JobKeysPreserved covers the digests themselves).
+func TestV4ContentionCanonicalisation(t *testing.T) {
+	implicit := jobKey(JobRequest{Kind: "contention"}, canonicalTestScale)
+	explicit := jobKey(JobRequest{
+		Kind:       "contention",
+		Mixes:      core.DefaultTenantMixes(),
+		Schemes:    append([]string(nil), core.SchemeNames...),
+		QueueDepth: 16,
+		CacheBytes: 4 << 20,
+		Seed:       42,
+		Scale:      0.05,
+	}, canonicalTestScale)
+	if implicit != explicit {
+		t.Errorf("defaulted and spelled-out contention studies split: %s vs %s", implicit, explicit)
+	}
+
+	// A stray single-run field is irrelevant to the study and must not
+	// split the address.
+	stray := jobKey(JobRequest{Kind: "contention", Trace: "ts0", Scheme: "IPU"}, canonicalTestScale)
+	if stray != implicit {
+		t.Error("stray run fields split the contention address")
+	}
+
+	// Different cache sizes are different experiments.
+	other := jobKey(JobRequest{Kind: "contention", CacheBytes: 1 << 20}, canonicalTestScale)
+	if other == implicit {
+		t.Error("different cacheBytes share one address")
+	}
+
+	// Pre-v4 kinds canonicalise to JSON without the v4 fields.
+	for _, kind := range []string{"run", "cell", "matrix", "sensitivity"} {
+		b, err := json.Marshal(canonicalRequest(JobRequest{Kind: kind}, canonicalTestScale))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, field := range []string{"mixes", "cacheBytes"} {
+			if containsField(b, field) {
+				t.Errorf("canonical %s JSON mentions %q: %s", kind, field, b)
+			}
+		}
+	}
+}
+
+// TestContentionValidation rejects malformed studies and v4 fields on
+// other kinds.
+func TestContentionValidation(t *testing.T) {
+	_, ts := newTestService(t, Options{Workers: 1, DefaultScale: 0.01})
+	bad := []string{
+		`{"kind":"run","mixes":[{"name":"m","tenants":[{"trace":"ts0"}]}]}`,
+		`{"kind":"run","cacheBytes":1024}`,
+		`{"kind":"contention","mixes":[{"name":"empty","tenants":[]}]}`,
+		`{"kind":"contention","schemes":["NoSuchScheme"]}`,
+		`{"kind":"contention","mixes":[{"name":"m","tenants":[{"trace":"nope"}]}]}`,
+		`{"kind":"contention","queueDepth":-1}`,
+		`{"kind":"contention","cacheBytes":-1}`,
+	}
+	for _, body := range bad {
+		if resp, _ := postJob(t, ts, body); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: HTTP %d, want 400", body, resp.StatusCode)
+		}
+	}
+}

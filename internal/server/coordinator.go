@@ -12,14 +12,17 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ipusim/internal/cache"
 	"ipusim/internal/core"
 )
 
-// coordinator shards matrix and sensitivity jobs across a fleet of
-// worker daemons. A sweep is decomposed into its cells (core.Cells);
-// each cell becomes a "cell" sub-job placed on a worker by consistent
-// hashing on the sub-job's content-addressed key, so the same cell
-// always lands on the same worker and its local result cache stays hot.
+// coordinator shards matrix, sensitivity and contention jobs across a
+// fleet of worker daemons. A sweep is decomposed into its cells
+// (core.Cells, or core.ContentionCells for contention studies); each
+// cell becomes a "cell" (or multi-tenant "run") sub-job placed on a
+// worker by consistent hashing on the sub-job's content-addressed key,
+// so the same cell always lands on the same worker and its local result
+// cache stays hot.
 // Per-cell rows stream back as workers finish and are aggregated into
 // the same response shape a single daemon produces. A worker that fails
 // is removed from the ring (remapping only ~1/N of the keyspace); its
@@ -122,9 +125,122 @@ func (c *coordinator) compile(req JobRequest, defaultScale float64) (jobFunc, er
 		return func(ctx context.Context, report core.ProgressFunc) (any, error) {
 			return c.runSensitivity(ctx, req, report)
 		}, nil
+	case "contention":
+		if err := validateMixes(req.Mixes, req.Seed, req.Scale); err != nil {
+			return nil, err
+		}
+		return func(ctx context.Context, report core.ProgressFunc) (any, error) {
+			return c.runContention(ctx, req, report)
+		}, nil
 	default:
 		return nil, fmt.Errorf("kind %q is not shardable", req.Kind)
 	}
+}
+
+// runContention shards the multi-tenant contention study: every (mix,
+// buffer arm, scheme) cell travels as an ordinary v3 closed-loop "run"
+// sub-job — multi-tenant, optionally write-cached — which every worker
+// already executes, so contention studies scale over a fleet without a
+// worker-side upgrade. Rows reassemble in the study's deterministic
+// enumeration order, bit-identical to core.RunTenantContentionContext.
+func (c *coordinator) runContention(ctx context.Context, req JobRequest, report core.ProgressFunc) (any, error) {
+	spec := core.TenantContentionSpec{
+		Mixes:      req.Mixes,
+		Schemes:    req.Schemes,
+		Depth:      req.QueueDepth,
+		CacheBytes: req.CacheBytes,
+		Seed:       req.Seed,
+		Scale:      req.Scale,
+	}
+	cells, err := core.ContentionCells(spec)
+	if err != nil {
+		return nil, err
+	}
+	var done atomic.Int64
+	rows := make([]core.ContentionRow, len(cells))
+	errs := make([]error, len(cells))
+	workers := runtime.GOMAXPROCS(0)
+	c.mu.Lock()
+	if n := 2 * c.ring.size(); n > workers {
+		workers = n
+	}
+	c.mu.Unlock()
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				rows[i], errs[i] = c.runContentionCell(ctx, spec, cells[i])
+				if errs[i] == nil && report != nil {
+					report(core.Progress{Replayed: int(done.Add(1)), Total: len(cells)})
+				}
+			}
+		}()
+	}
+dispatch:
+	for i := range cells {
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(next)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+// runContentionCell executes one contention cell: place its "run"
+// sub-job on the ring, retry once on the post-failure owner, then fall
+// back to in-process execution.
+func (c *coordinator) runContentionCell(ctx context.Context, spec core.TenantContentionSpec, cell core.ContentionCell) (core.ContentionRow, error) {
+	sub := JobRequest{
+		Kind:       "run",
+		Scheme:     cell.Scheme,
+		QueueDepth: spec.Depth,
+		Scale:      spec.Scale,
+		Seed:       spec.Seed,
+		Tenants:    cell.Mix.Tenants,
+	}
+	if cell.Buffered {
+		sub.WriteCache = &cache.Config{CapacityBytes: spec.CacheBytes}
+	}
+	// Placement hashes the sub-job's content address — the same key the
+	// worker's own result cache uses — so repeated studies hit warm caches.
+	key := jobKey(sub, spec.Scale)
+	for attempt := 0; attempt < 2; attempt++ {
+		node := c.pick(key)
+		if node == "" {
+			break
+		}
+		res, err := c.dispatch(ctx, node, sub)
+		if err == nil {
+			c.remoteCells.Add(1)
+			return core.ContentionRow{
+				Mix: cell.Mix.Name, Scheme: cell.Scheme, Buffered: cell.Buffered, Result: res,
+			}, nil
+		}
+		if ctx.Err() != nil {
+			return core.ContentionRow{}, ctx.Err()
+		}
+		c.markDead(node)
+	}
+	// No worker could serve the cell: run it here so the study completes.
+	c.fallbackCells.Add(1)
+	return core.RunContentionCellContext(ctx, spec, cell)
 }
 
 // runMatrix shards one matrix sweep and reassembles the results in cell

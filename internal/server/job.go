@@ -41,8 +41,8 @@ func (s JobState) Terminal() bool {
 // falling back to the evaluation defaults.
 type JobRequest struct {
 	// Kind is "run" (one trace through one scheme), "matrix" (a
-	// traces x schemes x P/E sweep) or "sensitivity" (a device-parameter
-	// sweep).
+	// traces x schemes x P/E sweep), "sensitivity" (a device-parameter
+	// sweep) or "contention" (the multi-tenant contention study).
 	Kind string `json:"kind"`
 
 	// Run parameters.
@@ -75,6 +75,16 @@ type JobRequest struct {
 	// and therefore content-address — exactly as before.
 	Tenants    []workload.TenantSpec `json:"tenants,omitempty"`
 	WriteCache *cache.Config         `json:"writeCache,omitempty"`
+
+	// Contention-study parameters (request schema v4). Kind "contention"
+	// replays every (mix, buffer arm, scheme) cell of the multi-tenant
+	// contention study: Mixes lists the tenant compositions (empty means
+	// the default evaluation mixes), Schemes the FTLs to rank, QueueDepth
+	// the shared closed-loop depth, and CacheBytes the buffered arm's
+	// write-cache capacity. Both fields carry omitempty, so v2/v3
+	// submissions canonicalise — and content-address — exactly as before.
+	Mixes      []core.TenantMix `json:"mixes,omitempty"`
+	CacheBytes int64            `json:"cacheBytes,omitempty"`
 
 	// Parallelism sets per-run read-path evaluation workers (0/1 =
 	// serial). It never changes results — metrics are bit-identical either
@@ -181,6 +191,9 @@ func compile(req JobRequest, defaultScale float64) (jobFunc, error) {
 	if req.Kind != "run" && (len(req.Tenants) > 0 || req.WriteCache != nil) {
 		return nil, fmt.Errorf("tenants and writeCache apply only to run jobs, not %q", req.Kind)
 	}
+	if req.Kind != "contention" && (len(req.Mixes) > 0 || req.CacheBytes != 0) {
+		return nil, fmt.Errorf("mixes and cacheBytes apply only to contention jobs, not %q", req.Kind)
+	}
 	switch req.Kind {
 	case "run":
 		return compileRun(req)
@@ -190,8 +203,10 @@ func compile(req JobRequest, defaultScale float64) (jobFunc, error) {
 		return compileMatrix(req)
 	case "sensitivity":
 		return compileSensitivity(req)
+	case "contention":
+		return compileContention(req)
 	default:
-		return nil, fmt.Errorf("unknown kind %q (want run, cell, matrix or sensitivity)", req.Kind)
+		return nil, fmt.Errorf("unknown kind %q (want run, cell, matrix, sensitivity or contention)", req.Kind)
 	}
 }
 
@@ -382,6 +397,57 @@ func compileMatrix(req JobRequest) (jobFunc, error) {
 			OnProgress:  report,
 		}
 		return core.RunMatrixContext(ctx, spec)
+	}, nil
+}
+
+// validateMixes checks every contention mix: non-empty, valid tenant
+// specs, known per-tenant traces.
+func validateMixes(mixes []core.TenantMix, seed int64, scale float64) error {
+	for _, mix := range mixes {
+		if len(mix.Tenants) == 0 {
+			return fmt.Errorf("contention mix %q is empty", mix.Name)
+		}
+		tenants := workload.NormalizeTenants(mix.Tenants, core.DefaultTenantTrace, seed, scale)
+		if err := workload.ValidateTenants(tenants); err != nil {
+			return err
+		}
+		for _, t := range tenants {
+			if err := validateTraces([]string{t.Trace}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// compileContention builds the multi-tenant contention study: every
+// (mix, buffer arm, scheme) cell replayed closed-loop, rows in the
+// study's deterministic enumeration order.
+func compileContention(req JobRequest) (jobFunc, error) {
+	if err := validateSchemes(req.Schemes); err != nil {
+		return nil, err
+	}
+	if err := validateMixes(req.Mixes, req.Seed, req.Scale); err != nil {
+		return nil, err
+	}
+	if req.QueueDepth < 0 {
+		return nil, fmt.Errorf("queueDepth %d must be >= 0", req.QueueDepth)
+	}
+	if req.CacheBytes < 0 {
+		return nil, fmt.Errorf("cacheBytes %d must be >= 0", req.CacheBytes)
+	}
+	return func(ctx context.Context, report core.ProgressFunc) (any, error) {
+		spec := core.TenantContentionSpec{
+			Mixes:       req.Mixes,
+			Schemes:     req.Schemes,
+			Depth:       req.QueueDepth,
+			CacheBytes:  req.CacheBytes,
+			Seed:        req.Seed,
+			Scale:       req.Scale,
+			Parallelism: req.Parallelism,
+			OnProgress:  report,
+		}
+		return core.RunTenantContentionContext(ctx, spec)
 	}, nil
 }
 

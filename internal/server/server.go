@@ -280,7 +280,7 @@ func (s *Server) requeueRecovered(j *Job) {
 // sharded by the coordinator when one is configured, everything else
 // compiles to a local run.
 func (s *Server) compileFor(req JobRequest) (jobFunc, error) {
-	if s.coord != nil && (req.Kind == "matrix" || req.Kind == "sensitivity") {
+	if s.coord != nil && (req.Kind == "matrix" || req.Kind == "sensitivity" || req.Kind == "contention") {
 		return s.coord.compile(req, s.opts.DefaultScale)
 	}
 	return compile(req, s.opts.DefaultScale)

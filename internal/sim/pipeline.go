@@ -142,6 +142,22 @@ func (p *Pipeline) commitOne() {
 	p.tail++
 }
 
+// CommitNext blocks until the oldest in-flight operation finishes
+// evaluating, commits it, and returns true. It returns false when nothing
+// is in flight. Closed-loop drivers use it to resolve exactly one pending
+// result — the completion a queue-depth gate is waiting on — without
+// draining the whole pipeline the way Flush does.
+func (p *Pipeline) CommitNext() bool {
+	if p.tail >= p.head {
+		return false
+	}
+	p.commitOne()
+	return true
+}
+
+// InFlight returns the number of submitted operations not yet committed.
+func (p *Pipeline) InFlight() int { return int(p.head - p.tail) }
+
 // Flush commits every submitted operation; on return the pipeline is
 // empty and every result is visible on the issue thread.
 func (p *Pipeline) Flush() {

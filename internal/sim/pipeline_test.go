@@ -39,6 +39,60 @@ func TestPipelineCommitOrder(t *testing.T) {
 	}
 }
 
+// TestPipelineCommitNext drives the single-commit path a closed-loop gate
+// uses: each CommitNext resolves exactly the oldest submitted op, in
+// dispatch order, and reports false once the pipeline is empty.
+func TestPipelineCommitNext(t *testing.T) {
+	const n = 300
+	payload := make([]int, 8)
+	var committed []int
+	p := NewPipeline(3, len(payload),
+		func(slot int) {
+			if payload[slot]%5 == 0 {
+				time.Sleep(200 * time.Microsecond)
+			}
+		},
+		func(slot int) { committed = append(committed, payload[slot]) },
+	)
+	defer p.Close()
+	if p.CommitNext() {
+		t.Fatal("CommitNext on an empty pipeline returned true")
+	}
+	submitted := 0
+	for i := 0; i < n; i++ {
+		slot := p.Slot()
+		payload[slot] = i
+		p.Submit(i % 7)
+		submitted++
+		// Interleave forced single commits with submissions; Slot may also
+		// have drained opportunistically, so only require monotone progress.
+		if i%3 == 0 {
+			before := len(committed)
+			if p.InFlight() > 0 {
+				if !p.CommitNext() {
+					t.Fatalf("CommitNext with %d in flight returned false", p.InFlight())
+				}
+				if len(committed) != before+1 {
+					t.Fatalf("CommitNext committed %d ops, want exactly 1", len(committed)-before)
+				}
+			}
+		}
+	}
+	for p.CommitNext() {
+	}
+	if len(committed) != n {
+		t.Fatalf("committed %d ops, want %d", len(committed), n)
+	}
+	for i, v := range committed {
+		if v != i {
+			t.Fatalf("commit order broken at %d: got %d", i, v)
+		}
+	}
+	if p.InFlight() != 0 {
+		t.Fatalf("InFlight = %d after full drain", p.InFlight())
+	}
+}
+
 // TestPipelineBackpressure checks that a ring smaller than the submission
 // count bounds the in-flight ops instead of losing or reordering any.
 func TestPipelineBackpressure(t *testing.T) {
